@@ -1,0 +1,73 @@
+"""Extension: directed vs symmetrized mixing (the authors' follow-up).
+
+Wiki-vote / Epinions / Slashdot arcs are directed; the paper (like the
+defenses) symmetrizes them.  This benchmark builds directed trust-graph
+analogs at several reciprocity levels and compares the damped directed
+chain's TVD decay to the symmetrized graph's — quantifying what
+symmetrization hides, which is the question the authors take up in "On
+the Mixing Time of Directed Social Graphs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import format_table
+from repro.digraph import directed_mixing_profile, directed_preferential_attachment
+from repro.mixing import sampled_mixing_profile
+
+WALK_LENGTHS = [1, 2, 4, 8, 16, 32]
+RECIPROCITY = [0.05, 0.3, 0.9]
+
+
+def _run(scale, num_sources):
+    n = max(int(4000 * scale), 300)
+    rows = {}
+    for r in RECIPROCITY:
+        dg = directed_preferential_attachment(n, 5, reciprocity=r, seed=0)
+        directed = directed_mixing_profile(
+            dg, WALK_LENGTHS, damping=0.99, num_sources=num_sources, seed=0
+        )
+        symmetrized = sampled_mixing_profile(
+            dg.to_undirected(),
+            walk_lengths=WALK_LENGTHS,
+            num_sources=num_sources,
+            seed=0,
+        ).mean
+        rows[r] = (dg.reciprocity(), directed, symmetrized)
+    return rows
+
+
+def test_ext_directed_mixing(benchmark, results_dir, scale, num_sources):
+    rows = benchmark.pedantic(
+        _run, args=(scale, num_sources), rounds=1, iterations=1
+    )
+    table_rows = []
+    for r, (measured_r, directed, symmetrized) in rows.items():
+        for i, w in enumerate(WALK_LENGTHS):
+            table_rows.append(
+                [
+                    f"{r:.2f} ({measured_r:.2f})" if i == 0 else "",
+                    w,
+                    f"{directed[i]:.4f}",
+                    f"{symmetrized[i]:.4f}",
+                ]
+            )
+    rendered = format_table(
+        ["reciprocity (meas.)", "walk len", "directed TVD", "symmetrized TVD"],
+        table_rows,
+        title=(
+            f"Extension — directed vs symmetrized mixing on trust-graph "
+            f"analogs (scale={scale}, damping 0.99)"
+        ),
+    )
+    publish(results_dir, "ext_directed_mixing", rendered)
+    for r, (_, directed, symmetrized) in rows.items():
+        # both chains converge on these expander-like analogs
+        assert directed[-1] < 0.05
+        assert symmetrized[-1] < 0.05
+    # low-reciprocity digraphs mix at least as fast directed as
+    # symmetrized at short lengths (arcs point toward hubs)
+    _, directed_low, symmetrized_low = rows[RECIPROCITY[0]]
+    assert directed_low[2] <= symmetrized_low[2] + 0.05

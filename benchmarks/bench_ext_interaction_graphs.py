@@ -1,0 +1,71 @@
+"""Extension: friendship vs interaction graphs (Wilson et al., ref [25]).
+
+Wilson et al. showed that the graph of *actual interactions* is a
+sparse, community-confined subgraph of the declared friendship graph —
+and that trust applications evaluated on friendship graphs overestimate
+their health.  This benchmark derives interaction graphs from two
+friendship analogs and re-measures the trust-relevant properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import format_table
+from repro.datasets import load_dataset
+from repro.generators import interaction_graph
+from repro.graph import largest_connected_component
+from repro.mixing import sampled_mixing_profile, slem
+
+DATASETS = ["facebook_b", "slashdot0811"]
+
+
+def _row(name: str, graph, label: str, num_sources: int):
+    profile = sampled_mixing_profile(
+        graph, walk_lengths=[10, 30], num_sources=num_sources, seed=0
+    )
+    return [
+        name if label == "friendship" else "",
+        label,
+        graph.num_nodes,
+        graph.num_edges,
+        f"{slem(graph):.4f}",
+        f"{profile.mean[-1]:.3f}",
+    ]
+
+
+def _run(scale, num_sources):
+    rows = []
+    drops = {}
+    for name in DATASETS:
+        friendship = load_dataset(name, scale=scale)
+        interaction = interaction_graph(friendship, activity=0.9, seed=1)
+        lcc, _ = largest_connected_component(interaction)
+        rows.append(_row(name, friendship, "friendship", num_sources))
+        rows.append(_row(name, lcc, "interaction (LCC)", num_sources))
+        drops[name] = (
+            slem(lcc) - slem(friendship),
+            1 - interaction.num_edges / friendship.num_edges,
+        )
+    return rows, drops
+
+
+def test_ext_interaction_graphs(benchmark, results_dir, scale, num_sources):
+    rows, drops = benchmark.pedantic(
+        _run, args=(scale, num_sources), rounds=1, iterations=1
+    )
+    rendered = format_table(
+        ["dataset", "graph", "n", "m", "SLEM", "TVD@30"],
+        rows,
+        title=(
+            f"Extension — friendship vs interaction graphs "
+            f"(activity 0.9, scale={scale})"
+        ),
+    )
+    publish(results_dir, "ext_interaction_graphs", rendered)
+    for name, (slem_delta, edge_drop) in drops.items():
+        # interactions prune a large share of (weak) edges...
+        assert edge_drop > 0.3, name
+        # ...and never improve mixing (Wilson's security implication)
+        assert slem_delta > -0.02, name

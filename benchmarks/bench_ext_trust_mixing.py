@@ -1,0 +1,71 @@
+"""Extension: the mixing cost of trust modulation (ref [16]).
+
+The paper's related work notes that its fast/slow observation "is used
+to account for trust in social network-based Sybil defenses using
+modulated random walks".  This benchmark measures the modulation cost
+directly: the walk length needed to reach a fixed TVD as the stay
+probability alpha grows.  Theory: T_alpha ~ T_0 / (1 - alpha).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import format_table
+from repro.datasets import load_dataset
+from repro.mixing import mixing_cost_of_trust
+
+TRUST_LEVELS = [0.0, 0.3, 0.5, 0.7]
+DATASETS = ["wiki_vote", "facebook_a"]
+
+
+def _run(scale, num_sources):
+    out = {}
+    for name in DATASETS:
+        graph = load_dataset(name, scale=scale)
+        out[name] = mixing_cost_of_trust(
+            graph,
+            TRUST_LEVELS,
+            epsilon=0.05,
+            max_length=300,
+            num_sources=num_sources,
+        )
+    return out
+
+
+def test_ext_trust_mixing(benchmark, results_dir, scale, num_sources):
+    costs = benchmark.pedantic(
+        _run, args=(scale, num_sources), rounds=1, iterations=1
+    )
+    rows = []
+    for name, per_alpha in costs.items():
+        base = per_alpha[0.0]
+        for alpha in TRUST_LEVELS:
+            measured = per_alpha[alpha]
+            predicted = base / (1 - alpha) if base is not None else None
+            rows.append(
+                [
+                    name if alpha == 0.0 else "",
+                    f"{alpha:.1f}",
+                    measured if measured is not None else ">300",
+                    f"{predicted:.1f}" if predicted is not None else "-",
+                ]
+            )
+    rendered = format_table(
+        ["Dataset", "alpha", "T(0.05) measured", "T_0 / (1 - alpha)"],
+        rows,
+        title=(
+            f"Extension — mixing cost of trust-modulated walks "
+            f"(scale={scale})"
+        ),
+    )
+    publish(results_dir, "ext_trust_mixing", rendered)
+    for name, per_alpha in costs.items():
+        base = per_alpha[0.0]
+        assert base is not None
+        for alpha in TRUST_LEVELS[1:]:
+            measured = per_alpha[alpha]
+            assert measured is not None, (name, alpha)
+            predicted = base / (1 - alpha)
+            # measured cost tracks the 1/(1-alpha) law within 2x
+            assert 0.5 * predicted <= measured <= 2.0 * predicted + 2

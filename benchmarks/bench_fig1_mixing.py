@@ -1,0 +1,72 @@
+"""Figure 1: mixing time via the sampling method.
+
+Paper shape to reproduce:
+
+* (a) small/medium graphs: Wiki-vote and Enron mix similarly despite a
+  5x size gap; the Physics co-authorship graphs stay far from
+  stationarity at every plotted walk length.
+* (b) large graphs: Facebook A / LiveJournal A / YouTube drop fast,
+  DBLP and LiveJournal B stay high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import publish
+
+from repro.analysis import figure1_mixing_profiles, format_table
+
+WALK_LENGTHS = [1, 2, 3, 5, 7, 10, 15, 20, 30, 40, 50]
+SMALL = ["wiki_vote", "enron", "physics1", "physics2", "physics3", "epinions"]
+LARGE = ["facebook_a", "facebook_b", "livejournal_a", "livejournal_b", "dblp", "youtube"]
+
+
+def _run(datasets, scale, num_sources):
+    return figure1_mixing_profiles(
+        datasets, walk_lengths=WALK_LENGTHS, num_sources=num_sources, scale=scale
+    )
+
+
+def _render(profiles, title):
+    headers = ["walk length"] + list(profiles)
+    rows = []
+    for i, length in enumerate(WALK_LENGTHS):
+        rows.append(
+            [length] + [f"{profiles[name].mean[i]:.4f}" for name in profiles]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def test_fig1a_small_datasets(benchmark, results_dir, scale, num_sources):
+    profiles = benchmark.pedantic(
+        _run, args=(SMALL, scale, num_sources), rounds=1, iterations=1
+    )
+    rendered = _render(
+        profiles,
+        f"Figure 1(a) — mean TVD vs walk length, small/medium analogs "
+        f"(scale={scale}, {num_sources} sources)",
+    )
+    publish(results_dir, "fig1a_mixing_small", rendered)
+    wiki = profiles["wiki_vote"].mean
+    enron = profiles["enron"].mean
+    physics = profiles["physics1"].mean
+    # Wiki-vote ~ Enron despite sizes; Physics 1 far slower than both
+    assert np.max(np.abs(wiki[4:] - enron[4:])) < 0.2
+    assert physics[-1] > wiki[-1] + 0.3
+
+
+def test_fig1b_large_datasets(benchmark, results_dir, scale, num_sources):
+    profiles = benchmark.pedantic(
+        _run, args=(LARGE, scale, num_sources), rounds=1, iterations=1
+    )
+    rendered = _render(
+        profiles,
+        f"Figure 1(b) — mean TVD vs walk length, large analogs "
+        f"(scale={scale}, {num_sources} sources)",
+    )
+    publish(results_dir, "fig1b_mixing_large", rendered)
+    # fast large analogs reach near-stationarity, slow ones do not
+    assert profiles["facebook_a"].mean[-1] < 0.05
+    assert profiles["youtube"].mean[-1] < 0.15
+    assert profiles["dblp"].mean[-1] > 0.5
+    assert profiles["livejournal_b"].mean[-1] > 0.5

@@ -1,0 +1,54 @@
+"""Figure 2: empirical CDF of node coreness.
+
+Paper shape to reproduce: fast-mixing graphs place a visible fraction of
+nodes at high coreness (the CDF keeps climbing far to the right), while
+slow-mixing co-authorship graphs saturate at small core numbers.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import figure2_coreness_ecdfs, format_table
+
+SMALL = ["physics1", "physics2", "wiki_vote", "epinions"]
+LARGE = ["dblp", "youtube", "facebook_a", "facebook_b", "livejournal_a"]
+
+
+def _run(datasets, scale):
+    return figure2_coreness_ecdfs(datasets, scale=scale)
+
+
+def _render(ecdfs, title):
+    rows = []
+    for name, (values, fractions) in ecdfs.items():
+        # report the quartile crossing points + the maximum core number
+        quartiles = []
+        for q in (0.25, 0.5, 0.9):
+            idx = int((fractions >= q).argmax())
+            quartiles.append(int(values[idx]))
+        rows.append([name, *quartiles, int(values[-1])])
+    return format_table(
+        ["Dataset", "k @25%", "k @50%", "k @90%", "k max"], rows, title=title
+    )
+
+
+def test_fig2a_small(benchmark, results_dir, scale):
+    ecdfs = benchmark.pedantic(_run, args=(SMALL, scale), rounds=1, iterations=1)
+    rendered = _render(
+        ecdfs, f"Figure 2(a) — coreness ECDF checkpoints, small analogs (scale={scale})"
+    )
+    publish(results_dir, "fig2a_coreness_small", rendered)
+    # fast mixers reach much deeper cores than slow mixers
+    wiki_max = ecdfs["wiki_vote"][0][-1]
+    physics_max = ecdfs["physics1"][0][-1]
+    assert wiki_max > physics_max
+
+
+def test_fig2b_large(benchmark, results_dir, scale):
+    ecdfs = benchmark.pedantic(_run, args=(LARGE, scale), rounds=1, iterations=1)
+    rendered = _render(
+        ecdfs, f"Figure 2(b) — coreness ECDF checkpoints, large analogs (scale={scale})"
+    )
+    publish(results_dir, "fig2b_coreness_large", rendered)
+    assert ecdfs["facebook_a"][0][-1] > ecdfs["dblp"][0][-1]

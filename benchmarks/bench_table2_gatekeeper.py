@@ -1,0 +1,80 @@
+"""Table II: GateKeeper on four graphs with different characteristics.
+
+Paper shape to reproduce: honest acceptance is high (~90-98%) at the
+loosest admission factor and decreases as f tightens; admitted Sybils
+per attack edge stay small (single digits to low tens given our
+proportionally huge Sybil regions) and also shrink with f.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.analysis import format_table, table2_gatekeeper
+from repro.datasets import load_dataset
+
+DATASETS = ["physics2", "facebook_a", "livejournal_a", "slashdot0811"]
+FACTORS = [0.1, 0.2, 0.3]
+
+
+def _run(scale):
+    attack_edges = {
+        name: max(load_dataset(name, scale=scale).num_nodes // 150, 4)
+        for name in DATASETS
+    }
+    return (
+        table2_gatekeeper(
+            datasets=DATASETS,
+            attack_edges=attack_edges,
+            admission_factors=FACTORS,
+            num_controllers=3,
+            scale=scale,
+        ),
+        attack_edges,
+    )
+
+
+def test_table2(benchmark, results_dir, scale):
+    outcomes, attack_edges = benchmark.pedantic(
+        _run, args=(scale,), rounds=1, iterations=1
+    )
+    rows = []
+    for name in DATASETS:
+        per_dataset = {o.parameter: o for o in outcomes if o.dataset == name}
+        rows.append(
+            [
+                name,
+                attack_edges[name],
+                "honest %",
+                *[f"{per_dataset[f].honest_acceptance:.1%}" for f in FACTORS],
+            ]
+        )
+        rows.append(
+            [
+                "",
+                "",
+                "sybil/edge",
+                *[f"{per_dataset[f].sybils_per_attack_edge:.2f}" for f in FACTORS],
+            ]
+        )
+    rendered = format_table(
+        ["Dataset", "g", "metric", "f=0.1", "f=0.2", "f=0.3"],
+        rows,
+        title=(
+            f"Table II — GateKeeper admission (scale={scale}, 99 distributors, "
+            "3 controllers, random attackers)"
+        ),
+    )
+    publish(results_dir, "table2_gatekeeper", rendered)
+    for name in DATASETS:
+        per_dataset = {o.parameter: o for o in outcomes if o.dataset == name}
+        assert per_dataset[0.1].honest_acceptance > 0.85
+        assert (
+            per_dataset[0.1].honest_acceptance
+            >= per_dataset[0.2].honest_acceptance
+            >= per_dataset[0.3].honest_acceptance
+        )
+        assert (
+            per_dataset[0.3].sybils_per_attack_edge
+            <= per_dataset[0.1].sybils_per_attack_edge
+        )

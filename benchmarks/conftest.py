@@ -1,0 +1,54 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced-but-faithful scale, prints the result, and persists it under
+``benchmarks/results/`` so the run leaves an inspectable artifact.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — analog scale factor (default 0.25).
+* ``REPRO_BENCH_SOURCES`` — sampled sources for walk/BFS measurements
+  (default 50).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Analog scale used by all benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+def bench_sources() -> int:
+    """Sampled source count used by walk/BFS measurements."""
+    return int(os.environ.get("REPRO_BENCH_SOURCES", "50"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def num_sources() -> int:
+    return bench_sources()
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a reproduction and save it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,81 @@
+"""GateKeeper admission control as a service: parameter sweeps.
+
+Shows how a deployment would tune GateKeeper: sweep the admission
+factor f and the adversary's attack-edge budget g, and inspect the
+honest-acceptance / Sybil-admission trade-off (the design space behind
+Table II).
+
+Run:  python examples/admission_control.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.analysis import format_table
+from repro.sybil import evaluate_gatekeeper, standard_attack
+
+
+def main() -> None:
+    honest = load_dataset("slashdot0811", scale=0.15)
+    print(f"honest graph: {honest.num_nodes} nodes, {honest.num_edges} edges\n")
+
+    # sweep 1: admission factor at fixed attack budget
+    attack = standard_attack(honest, num_attack_edges=10, seed=0)
+    outcomes = evaluate_gatekeeper(
+        attack,
+        admission_factors=[0.05, 0.1, 0.2, 0.3, 0.5],
+        num_controllers=3,
+        num_distributors=60,
+        dataset="slashdot0811",
+        seed=0,
+    )
+    print(
+        format_table(
+            ["f", "honest accepted", "sybils / attack edge"],
+            [
+                [f"{o.parameter:.2f}", f"{o.honest_acceptance:.1%}",
+                 f"{o.sybils_per_attack_edge:.2f}"]
+                for o in outcomes
+            ],
+            title="Sweep 1 — admission factor f (g = 10)",
+        )
+    )
+
+    # sweep 2: attack budget at fixed f
+    rows = []
+    for g in [5, 10, 20, 40]:
+        attack = standard_attack(honest, num_attack_edges=g, seed=g)
+        (outcome,) = evaluate_gatekeeper(
+            attack,
+            admission_factors=[0.2],
+            num_controllers=2,
+            num_distributors=60,
+            dataset="slashdot0811",
+            seed=g,
+        )
+        rows.append(
+            [
+                g,
+                f"{outcome.honest_acceptance:.1%}",
+                f"{outcome.sybils_per_attack_edge:.2f}",
+                f"{outcome.sybils_per_attack_edge * g:.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["g", "honest accepted", "sybils / edge", "total sybils admitted"],
+            rows,
+            title="Sweep 2 — attack-edge budget g (f = 0.2)",
+        )
+    )
+    print(
+        "\nReading: honest acceptance is insensitive to g (tickets flood the"
+        "\nhonest region regardless), while total Sybil admissions grow only"
+        "\nlinearly in g — the per-attack-edge guarantee GateKeeper is built"
+        "\naround."
+    )
+
+
+if __name__ == "__main__":
+    main()

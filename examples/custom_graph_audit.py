@@ -1,0 +1,99 @@
+"""Audit your own social graph for Sybil-defense readiness.
+
+The downstream-user scenario: you operate a service with a social graph
+and want to know whether the fast-mixing / expansion assumptions that
+SybilLimit or GateKeeper rely on actually hold for it.  This script
+writes a small SNAP-format edge list (stand-in for your export), loads
+it, and prints the full audit: mixing classification, Sinclair bounds,
+core cohesion, expansion quality and a bottom-line recommendation.
+
+Run:  python examples/custom_graph_audit.py [path/to/edges.txt]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import core_structure, envelope_expansion, slem
+from repro.generators import community_social_graph
+from repro.graph import (
+    largest_connected_component,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.mixing import is_fast_mixing, sampled_mixing_profile, sinclair_bounds
+
+
+def _demo_edge_list() -> Path:
+    """Write a demo export (a mildly community-structured graph)."""
+    graph = community_social_graph(900, 6, 4, 0.05, seed=42)
+    path = Path(tempfile.gettempdir()) / "repro_demo_edges.txt"
+    write_edge_list(graph, path, header="demo social graph export")
+    return path
+
+
+def audit(path: Path) -> None:
+    raw = read_edge_list(path)
+    graph, _ = largest_connected_component(raw)
+    print(f"loaded {path}")
+    print(
+        f"largest component: {graph.num_nodes} nodes, {graph.num_edges} "
+        f"edges (dropped {raw.num_nodes - graph.num_nodes} nodes)"
+    )
+
+    mu = slem(graph)
+    bounds = sinclair_bounds(mu, graph.num_nodes, epsilon=1 / graph.num_nodes)
+    fast = is_fast_mixing(graph, num_sources=30, seed=0)
+    print(f"\nmixing: SLEM = {mu:.4f}; T(1/n) <= {bounds.upper:.0f} steps")
+    print(f"fast-mixing (O(log n)) classification: {'PASS' if fast else 'FAIL'}")
+
+    profile = sampled_mixing_profile(
+        graph, walk_lengths=[5, 10, 20], num_sources=30, seed=0
+    )
+    print("mean TVD @ [5, 10, 20] walk steps:", np.round(profile.mean, 3).tolist())
+
+    structure = core_structure(graph)
+    cohesive = bool(np.all(structure.num_cores == 1))
+    print(
+        f"\ncores: degeneracy {structure.degeneracy}; "
+        f"max simultaneous cores {structure.num_cores.max()} "
+        f"({'single cohesive core' if cohesive else 'fragmented cores'})"
+    )
+
+    expansion = envelope_expansion(graph, num_sources=30, seed=0)
+    small = expansion.set_sizes <= graph.num_nodes // 10
+    alpha = float(expansion.expansion_factors[small].mean())
+    print(f"expansion: mean alpha over small envelopes = {alpha:.2f}")
+
+    print("\n--- recommendation ---")
+    if fast and cohesive:
+        print(
+            "Graph meets the fast-mixing and expansion assumptions: "
+            "SybilLimit/GateKeeper-style defenses should perform as "
+            "published."
+        )
+    elif fast:
+        print(
+            "Graph mixes fast but its cores fragment: expect honest nodes "
+            "in peripheral communities to see degraded acceptance."
+        )
+    else:
+        print(
+            "Graph is slow mixing (tight community structure). Random-walk "
+            "Sybil defenses will either reject honest users in confined "
+            "communities or admit more Sybils; consider community-aware "
+            "parameters (longer walks per community) before deploying."
+        )
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else _demo_edge_list()
+    audit(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Open problem, explored: trustworthy computing on an evolving graph.
+
+The paper closes by asking how evolution affects the properties that
+trustworthy-computing applications rely on.  This example evolves a
+slow-mixing community graph under edge churn, tracks SLEM / cores /
+expansion per snapshot, and re-runs GateKeeper at the start and end to
+see the defense's guarantees change.
+
+Run:  python examples/evolving_network.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.analysis import format_table
+from repro.dynamics import ChurnModel, snapshots, track_evolution
+from repro.sybil import evaluate_gatekeeper, standard_attack
+
+STEPS = 5
+
+
+def gatekeeper_on(graph, label: str):
+    attack = standard_attack(graph, num_attack_edges=8, seed=3)
+    (outcome,) = evaluate_gatekeeper(
+        attack,
+        admission_factors=[0.2],
+        num_controllers=2,
+        num_distributors=50,
+        dataset=label,
+        seed=3,
+    )
+    return outcome
+
+
+def main() -> None:
+    base = load_dataset("physics2", scale=0.2)
+    print(
+        f"base graph: physics2 analog, {base.num_nodes} nodes, "
+        f"{base.num_edges} edges (slow mixing)\n"
+    )
+    model = ChurnModel(churn_rate=0.1, rewiring="random", seed=1)
+    sequence = list(snapshots(base, model, STEPS))
+    metrics = track_evolution(sequence, expansion_sources=25)
+    print(
+        format_table(
+            ["step", "n", "m", "SLEM", "gap", "max #cores", "mean alpha"],
+            [
+                [
+                    m.step,
+                    m.num_nodes,
+                    m.num_edges,
+                    f"{m.slem:.4f}",
+                    f"{m.spectral_gap:.4f}",
+                    m.max_cores,
+                    f"{m.mean_small_set_expansion:.2f}",
+                ]
+                for m in metrics
+            ],
+            title="Property drift under 10% random edge churn per step",
+        )
+    )
+
+    before = gatekeeper_on(sequence[0], "step 0")
+    after = gatekeeper_on(sequence[-1], f"step {STEPS}")
+    print()
+    print(
+        format_table(
+            ["snapshot", "honest accepted", "sybils / attack edge"],
+            [
+                ["step 0", f"{before.honest_acceptance:.1%}",
+                 f"{before.sybils_per_attack_edge:.2f}"],
+                [f"step {STEPS}", f"{after.honest_acceptance:.1%}",
+                 f"{after.sybils_per_attack_edge:.2f}"],
+            ],
+            title="GateKeeper (f=0.2) before vs after evolution",
+        )
+    )
+    print(
+        "\nReading: random tie churn dissolves community bottlenecks, so"
+        "\nthe spectral gap and expansion improve step by step — and the"
+        "\nadmission control built on those assumptions improves with them."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Anatomy of mixing speed: communities, cores and expansion.
+
+Reproduces the paper's Section V reasoning as a narrative experiment:
+take one fast-mixing and one slow-mixing analog of SIMILAR SIZE and show
+that the mixing gap is explained by (1) community structure
+(modularity), (2) core cohesion (one big core vs many small ones) and
+(3) expansion quality — not by size.
+
+Run:  python examples/mixing_anatomy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import core_structure, envelope_expansion, load_dataset, slem
+from repro.analysis import format_table
+from repro.community import greedy_modularity, modularity
+from repro.expansion import sweep_cut_expansion
+from repro.mixing import sampled_mixing_profile
+
+
+def profile_graph(name: str) -> list[str]:
+    graph = load_dataset(name, scale=0.25)
+    mix = sampled_mixing_profile(
+        graph, walk_lengths=[10, 30], num_sources=40, seed=0
+    )
+    labels = greedy_modularity(graph, seed=0)
+    structure = core_structure(graph)
+    expansion = envelope_expansion(graph, num_sources=40, seed=0)
+    small = expansion.set_sizes <= graph.num_nodes // 10
+    _, bottleneck = sweep_cut_expansion(graph)
+    return [
+        name,
+        f"{graph.num_nodes}",
+        f"{slem(graph):.4f}",
+        f"{mix.mean[-1]:.3f}",
+        f"{modularity(graph, labels):.3f}",
+        f"{int(np.unique(labels).size)}",
+        f"{structure.num_cores.max()}",
+        f"{expansion.expansion_factors[small].mean():.2f}",
+        f"{bottleneck:.4f}",
+    ]
+
+
+def main() -> None:
+    print("Why does one graph mix fast and a similar-sized one slowly?")
+    print("(the paper's Section V discussion, quantified)\n")
+    rows = [profile_graph("wiki_vote"), profile_graph("physics1")]
+    print(
+        format_table(
+            [
+                "dataset",
+                "n",
+                "SLEM",
+                "TVD@30",
+                "modularity Q",
+                "#communities",
+                "max #cores",
+                "mean alpha (small S)",
+                "sweep-cut phi",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: similar node counts, but the slow mixer has high"
+        "\nmodularity (tight communities), fragments into many k-cores,"
+        "\nexpands poorly, and exposes a sparse sweep cut — exactly the"
+        "\nstructural story the paper tells."
+    )
+
+
+if __name__ == "__main__":
+    main()

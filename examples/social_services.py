@@ -1,0 +1,92 @@
+"""Three trustworthy services on one social graph — and why mixing decides.
+
+The paper's introduction motivates property measurement with three
+application families built on social graphs: Sybil-resistant admission
+(GateKeeper et al.), Sybil-proof DHT routing (Whānau), and anonymous
+communication (social mixes).  This example deploys all three on a
+fast-mixing analog and on a slow-mixing analog of similar size, showing
+every service degrade together on the slow mixer — the paper's thesis
+made operational.
+
+Run:  python examples/social_services.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import load_dataset
+from repro.analysis import format_table
+from repro.anonymity import walk_anonymity_profile
+from repro.dht import Whanau, WhanauConfig
+from repro.mixing import slem
+from repro.sybil import evaluate_gatekeeper, standard_attack
+
+SCALE = 0.12
+
+
+def deploy(name: str) -> list[str]:
+    graph = load_dataset(name, scale=SCALE)
+    mu = slem(graph)
+
+    # 1. Sybil-resistant admission (GateKeeper)
+    attack = standard_attack(graph, num_attack_edges=8, seed=1)
+    (admission,) = evaluate_gatekeeper(
+        attack,
+        admission_factors=[0.2],
+        num_controllers=2,
+        num_distributors=50,
+        dataset=name,
+        seed=1,
+    )
+
+    # 2. Sybil-proof DHT (Whanau) under the same attack
+    mask = np.zeros(attack.graph.num_nodes, dtype=bool)
+    mask[: attack.num_honest] = True
+    rng = np.random.default_rng(2)
+    keys = {
+        v: [int(rng.integers(1 << 32))]
+        for v in range(attack.graph.num_nodes)
+        if mask[v]
+    }
+    dht = Whanau(attack.graph, keys, honest=mask, config=WhanauConfig(seed=3))
+    lookup_rate = dht.lookup_success_rate(num_lookups=100, seed=4)
+
+    # 3. anonymous communication (20-hop mix routes)
+    anonymity = walk_anonymity_profile(graph, [20], num_senders=25, seed=5)
+
+    return [
+        name,
+        f"{mu:.4f}",
+        f"{admission.honest_acceptance:.1%}",
+        f"{admission.sybils_per_attack_edge:.2f}",
+        f"{lookup_rate:.1%}",
+        f"{anonymity.normalized_entropy[0]:.2f}",
+    ]
+
+
+def main() -> None:
+    print("Deploying admission control, a DHT and a mix network on two")
+    print("similar-sized social graphs from opposite mixing regimes.\n")
+    rows = [deploy("wiki_vote"), deploy("physics1")]
+    print(
+        format_table(
+            [
+                "dataset",
+                "SLEM",
+                "GateKeeper honest",
+                "sybil/edge",
+                "DHT lookup success",
+                "mix anonymity @20",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: one number (the mixing quality) predicts the health of"
+        "\nall three services — which is exactly why the paper measures it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""repro: reproduction of *Understanding Social Networks Properties for
+Trustworthy Computing* (Mohaisen, Tran, Hopper, Kim — ICDCS-W/SIMPLEX
+2011).
+
+The library measures the three graph properties the paper connects —
+mixing time, graph degeneracy (k-cores) and vertex expansion — over
+synthetic analogs of the paper's social-graph benchmarks, and implements
+the social-network Sybil defenses those properties underwrite
+(GateKeeper, SybilGuard, SybilLimit, SybilInfer, SumUp).
+
+Quick start::
+
+    from repro import load_dataset, sampled_mixing_profile, core_structure
+
+    graph = load_dataset("wiki_vote")
+    profile = sampled_mixing_profile(graph, num_sources=100)
+    print(profile.mean)            # Figure-1 style TVD curve
+    print(core_structure(graph))   # Figure-5 style core statistics
+
+Subpackages
+-----------
+``repro.graph``      CSR graph substrate, traversal, metrics
+``repro.generators`` seeded synthetic graph models
+``repro.datasets``   Table-I analog registry
+``repro.markov``     transition operators, walks, distances
+``repro.mixing``     mixing-time measurement (sampling + spectral)
+``repro.cores``      k-core decomposition and core structure
+``repro.expansion``  envelope expansion and general bounds
+``repro.sybil``      attack model + five Sybil defenses + harness
+``repro.community``  community detection
+``repro.analysis``   per-table/figure experiment runners
+"""
+
+from repro.analysis import (
+    figure1_mixing_profiles,
+    figure2_coreness_ecdfs,
+    figure3_expansion_summaries,
+    figure4_expansion_factors,
+    figure5_core_structures,
+    table1_dataset_summary,
+    table2_gatekeeper,
+)
+from repro.cores import core_decomposition, core_structure, coreness_ecdf
+from repro.datasets import available_datasets, dataset_spec, load_dataset
+from repro.errors import ReproError
+from repro.expansion import envelope_expansion, expansion_factor_series
+from repro.graph import Graph, GraphBuilder
+from repro.markov import TransitionOperator, random_walk, total_variation_distance
+from repro.mixing import sampled_mixing_profile, sampled_mixing_time, slem
+from repro.sybil import (
+    GateKeeper,
+    SumUp,
+    SybilGuard,
+    SybilInfer,
+    SybilLimit,
+    inject_sybils,
+    standard_attack,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Graph",
+    "GraphBuilder",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "TransitionOperator",
+    "random_walk",
+    "total_variation_distance",
+    "slem",
+    "sampled_mixing_profile",
+    "sampled_mixing_time",
+    "core_decomposition",
+    "core_structure",
+    "coreness_ecdf",
+    "envelope_expansion",
+    "expansion_factor_series",
+    "GateKeeper",
+    "SybilGuard",
+    "SybilLimit",
+    "SybilInfer",
+    "SumUp",
+    "inject_sybils",
+    "standard_attack",
+    "table1_dataset_summary",
+    "figure1_mixing_profiles",
+    "figure2_coreness_ecdfs",
+    "table2_gatekeeper",
+    "figure3_expansion_summaries",
+    "figure4_expansion_factors",
+    "figure5_core_structures",
+]

@@ -1,0 +1,46 @@
+"""Experiment runners (one per paper table/figure), stats and tables."""
+
+from repro.analysis.experiments import (
+    DatasetSummary,
+    betweenness_distributions,
+    expansion_mixing_correlation,
+    figure1_mixing_profiles,
+    figure2_coreness_ecdfs,
+    figure3_expansion_summaries,
+    figure4_expansion_factors,
+    figure5_core_structures,
+    mixing_core_correlation,
+    mixing_heterogeneity,
+    table1_dataset_summary,
+    table2_gatekeeper,
+)
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.persistence import load_results, save_results
+from repro.analysis.report import measurement_report
+from repro.analysis.stats import ecdf, geometric_mean, spearman, summarize
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "DatasetSummary",
+    "table1_dataset_summary",
+    "figure1_mixing_profiles",
+    "figure2_coreness_ecdfs",
+    "table2_gatekeeper",
+    "figure3_expansion_summaries",
+    "figure4_expansion_factors",
+    "figure5_core_structures",
+    "mixing_core_correlation",
+    "expansion_mixing_correlation",
+    "betweenness_distributions",
+    "mixing_heterogeneity",
+    "ecdf",
+    "spearman",
+    "summarize",
+    "geometric_mean",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "save_results",
+    "load_results",
+    "measurement_report",
+]

@@ -1,0 +1,81 @@
+"""Terminal line charts for figure reproductions.
+
+The benchmark harness prints tables; for eyeballing curve *shapes*
+(Figure 1's TVD decay, Figure 4's expansion decay) an ASCII chart is
+friendlier.  No plotting stack required — pure text.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on a shared-axis ASCII canvas.
+
+    Each series gets a marker character; the legend maps markers back
+    to names.  Axes are linear and auto-scaled to the pooled data.
+    """
+    if not series:
+        raise ReproError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ReproError("canvas too small")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+    all_x = np.concatenate([np.asarray(xs, float) for xs, _ in series.values()])
+    all_y = np.concatenate([np.asarray(ys, float) for _, ys in series.values()])
+    if all_x.size == 0:
+        raise ReproError("series are empty")
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for marker, (name, (xs, ys)) in zip(_MARKERS, series.items()):
+        for x, y in zip(np.asarray(xs, float), np.asarray(ys, float)):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            canvas[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * pad
+        + "  "
+        + f"{x_lo:.3g}".ljust(width - 8)
+        + f"{x_hi:.3g}".rjust(8)
+    )
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(f"{y_label} vs {x_label}:  {legend}")
+    return "\n".join(lines)

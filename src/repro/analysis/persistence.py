@@ -1,0 +1,138 @@
+"""Persist measurement results as JSON.
+
+The expensive measurements (all-source expansion, large mixing sweeps,
+GateKeeper runs) are worth caching; this module round-trips the
+library's result dataclasses through plain JSON so experiment scripts
+can checkpoint and diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cores.statistics import CoreStructure
+from repro.errors import ReproError
+from repro.expansion.envelope import ExpansionSummary
+from repro.mixing.sampling import MixingProfile
+from repro.sybil.harness import DefenseOutcome
+
+__all__ = ["save_results", "load_results"]
+
+_TYPE_KEY = "__repro_type__"
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return {_TYPE_KEY: "ndarray", "data": obj.tolist(), "dtype": str(obj.dtype)}
+    if isinstance(obj, MixingProfile):
+        return {
+            _TYPE_KEY: "MixingProfile",
+            "walk_lengths": _encode(obj.walk_lengths),
+            "sources": _encode(obj.sources),
+            "tvd": _encode(obj.tvd),
+            "lazy": obj.lazy,
+        }
+    if isinstance(obj, CoreStructure):
+        return {
+            _TYPE_KEY: "CoreStructure",
+            "ks": _encode(obj.ks),
+            "node_fraction": _encode(obj.node_fraction),
+            "edge_fraction": _encode(obj.edge_fraction),
+            "num_cores": _encode(obj.num_cores),
+        }
+    if isinstance(obj, ExpansionSummary):
+        return {
+            _TYPE_KEY: "ExpansionSummary",
+            "set_sizes": _encode(obj.set_sizes),
+            "minimum": _encode(obj.minimum),
+            "mean": _encode(obj.mean),
+            "maximum": _encode(obj.maximum),
+            "count": _encode(obj.count),
+        }
+    if isinstance(obj, DefenseOutcome):
+        return {
+            _TYPE_KEY: "DefenseOutcome",
+            "dataset": obj.dataset,
+            "defense": obj.defense,
+            "parameter": obj.parameter,
+            "honest_acceptance": obj.honest_acceptance,
+            "sybils_per_attack_edge": obj.sybils_per_attack_edge,
+            "num_controllers": obj.num_controllers,
+        }
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ReproError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        kind = obj.get(_TYPE_KEY)
+        if kind == "ndarray":
+            return np.asarray(obj["data"], dtype=obj["dtype"])
+        if kind == "MixingProfile":
+            return MixingProfile(
+                walk_lengths=_decode(obj["walk_lengths"]),
+                sources=_decode(obj["sources"]),
+                tvd=_decode(obj["tvd"]),
+                lazy=bool(obj["lazy"]),
+            )
+        if kind == "CoreStructure":
+            return CoreStructure(
+                ks=_decode(obj["ks"]),
+                node_fraction=_decode(obj["node_fraction"]),
+                edge_fraction=_decode(obj["edge_fraction"]),
+                num_cores=_decode(obj["num_cores"]),
+            )
+        if kind == "ExpansionSummary":
+            return ExpansionSummary(
+                set_sizes=_decode(obj["set_sizes"]),
+                minimum=_decode(obj["minimum"]),
+                mean=_decode(obj["mean"]),
+                maximum=_decode(obj["maximum"]),
+                count=_decode(obj["count"]),
+            )
+        if kind == "DefenseOutcome":
+            return DefenseOutcome(
+                dataset=obj["dataset"],
+                defense=obj["defense"],
+                parameter=obj["parameter"],
+                honest_acceptance=obj["honest_acceptance"],
+                sybils_per_attack_edge=obj["sybils_per_attack_edge"],
+                num_controllers=obj["num_controllers"],
+            )
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def save_results(results: Any, path: str | Path) -> None:
+    """Serialize a (possibly nested) result structure to JSON.
+
+    Supports dicts/lists of the library's result dataclasses
+    (MixingProfile, CoreStructure, ExpansionSummary, DefenseOutcome),
+    numpy arrays and plain scalars.
+    """
+    path = Path(path)
+    payload = _encode(results)
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_results(path: str | Path) -> Any:
+    """Load a structure previously written by :func:`save_results`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no results file at {path}")
+    return _decode(json.loads(path.read_text(encoding="utf-8")))

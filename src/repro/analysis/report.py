@@ -1,0 +1,138 @@
+"""Full measurement report for one graph, as markdown.
+
+One call measures everything the paper cares about — mixing (both
+methods), cores, expansion, centrality concentration, community
+structure — plus defense-readiness interpretation, and renders a
+markdown document.  Powers ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.community import greedy_modularity, modularity
+from repro.cores.statistics import core_structure
+from repro.errors import GraphError
+from repro.expansion.envelope import envelope_expansion
+from repro.graph.core import Graph
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    degree_assortativity,
+)
+from repro.mixing.sampling import (
+    is_fast_mixing,
+    mixing_time_from_profile,
+    sampled_mixing_profile,
+)
+from repro.mixing.spectral import sinclair_bounds, slem
+
+__all__ = ["measurement_report"]
+
+
+def measurement_report(
+    graph: Graph,
+    name: str = "graph",
+    num_sources: int = 50,
+    seed: int = 0,
+) -> str:
+    """Return a markdown report of every paper-relevant property."""
+    if graph.num_nodes < 3 or graph.num_edges < 2:
+        raise GraphError("the report needs a graph with a few nodes and edges")
+    lines: list[str] = [f"# Measurement report — {name}", ""]
+    lines += [
+        "## Size and local structure",
+        "",
+        f"* nodes: {graph.num_nodes}, edges: {graph.num_edges}",
+        f"* average degree: {average_degree(graph):.2f}",
+        f"* clustering coefficient: "
+        f"{average_clustering(graph, sample=min(400, graph.num_nodes), seed=seed):.3f}",
+        f"* degree assortativity: {degree_assortativity(graph):.3f}",
+        "",
+    ]
+
+    mu = slem(graph)
+    bounds = sinclair_bounds(mu, graph.num_nodes, epsilon=1 / graph.num_nodes)
+    profile = sampled_mixing_profile(
+        graph,
+        walk_lengths=[1, 2, 5, 10, 20, 40],
+        num_sources=num_sources,
+        seed=seed,
+    )
+    fast = is_fast_mixing(graph, num_sources=min(num_sources, 30), seed=seed)
+    t_10 = mixing_time_from_profile(profile, 0.10, aggregate="mean")
+    lines += [
+        "## Mixing time (Section III-C)",
+        "",
+        f"* SLEM mu = {mu:.4f} (spectral gap {1 - mu:.4f})",
+        f"* Sinclair bounds on T(1/n): [{bounds.lower:.0f}, {bounds.upper:.0f}] steps",
+        f"* sampled mean TVD at walk lengths [1, 2, 5, 10, 20, 40]: "
+        + ", ".join(f"{v:.3f}" for v in profile.mean),
+        f"* walk length to mean TVD < 0.1: "
+        + (str(t_10) if t_10 is not None else "> 40 (slow)"),
+        f"* fast-mixing classification (T(1/n) = O(log n)): "
+        + ("**PASS**" if fast else "**FAIL**"),
+        "",
+    ]
+
+    structure = core_structure(graph)
+    cohesive = bool(np.all(structure.num_cores == 1))
+    lines += [
+        "## Core structure (Sections III-B, V)",
+        "",
+        f"* degeneracy k_max = {structure.degeneracy}",
+        f"* nodes remaining at k_max: {structure.node_fraction[-1]:.1%}",
+        f"* max simultaneous connected cores: {int(structure.num_cores.max())}"
+        + (" (single cohesive core)" if cohesive else " (fragmented cores)"),
+        "",
+    ]
+
+    measurement = envelope_expansion(
+        graph, num_sources=min(num_sources, graph.num_nodes), seed=seed
+    )
+    small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
+    alpha_small = (
+        float(measurement.expansion_factors[small].mean()) if small.any() else 0.0
+    )
+    lines += [
+        "## Expansion (Section III-D)",
+        "",
+        f"* mean expansion factor over envelopes up to n/10: {alpha_small:.2f}",
+        f"* envelopes measured: {measurement.set_sizes.size} "
+        f"from {measurement.sources.size} cores",
+        "",
+    ]
+
+    labels = greedy_modularity(graph, seed=seed)
+    q = modularity(graph, labels)
+    lines += [
+        "## Community structure (Section V)",
+        "",
+        f"* modularity of the detected partition: {q:.3f} "
+        f"({np.unique(labels).size} communities)",
+        "",
+    ]
+
+    lines += ["## Defense readiness", ""]
+    if fast and cohesive:
+        lines.append(
+            "Fast mixing with one cohesive core: random-walk Sybil defenses "
+            "(SybilLimit, GateKeeper) and walk-sampled overlays (Whānau, "
+            "social mixes) should perform as published on this graph."
+        )
+    elif fast:
+        lines.append(
+            "Fast mixing but fragmented cores: defenses will work for the "
+            "main core; honest users in peripheral fragments will see "
+            "degraded acceptance."
+        )
+    else:
+        lines.append(
+            "Slow mixing (strong community confinement): random-walk "
+            "defenses will reject confined honest users or admit more "
+            "Sybils, walk-sampled overlays will have uneven coverage, and "
+            "mix routes need impractically long paths. Consider "
+            "community-aware parameterization."
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Anonymous communication on social mixers (Nagaraja, ref [18])."""
+
+from repro.anonymity.mixes import (
+    AnonymityProfile,
+    anonymity_walk_length,
+    entropy,
+    walk_anonymity_profile,
+)
+
+__all__ = [
+    "entropy",
+    "AnonymityProfile",
+    "walk_anonymity_profile",
+    "anonymity_walk_length",
+]

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the bundled Table-I analogs.
+``audit <edgelist> [--scale S]``
+    Audit a SNAP-format edge list (or a bundled analog name) for
+    Sybil-defense readiness: mixing, cores, expansion, recommendation.
+``reproduce <experiment> [--scale S]``
+    Regenerate one of the paper's tables/figures from the analog
+    registry; ``<experiment>`` is one of table1, fig1, fig2, table2,
+    fig3, fig4, fig5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    figure1_mixing_profiles,
+    figure2_coreness_ecdfs,
+    figure3_expansion_summaries,
+    figure4_expansion_factors,
+    figure5_core_structures,
+    format_table,
+    table1_dataset_summary,
+    table2_gatekeeper,
+)
+from repro.cores import core_structure
+from repro.datasets import available_datasets, dataset_spec, load_dataset
+from repro.expansion import envelope_expansion
+from repro.graph import largest_connected_component, read_edge_list
+from repro.mixing import is_fast_mixing, sinclair_bounds, slem
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        spec = dataset_spec(name)
+        rows.append(
+            [
+                name,
+                spec.mixing_regime,
+                spec.analog_nodes,
+                f"{spec.paper_nodes:,}",
+                spec.category,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "regime", "analog nodes", "paper nodes", "category"],
+            rows,
+            title="Bundled Table-I analogs",
+        )
+    )
+    return 0
+
+
+def _load_target(target: str, scale: float):
+    if target in available_datasets():
+        return load_dataset(target, scale=scale)
+    path = Path(target)
+    if not path.exists():
+        raise SystemExit(
+            f"'{target}' is neither a bundled dataset nor a readable file"
+        )
+    raw = read_edge_list(path)
+    graph, _ = largest_connected_component(raw)
+    return graph
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    graph = _load_target(args.target, args.scale)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges (LCC)")
+    mu = slem(graph)
+    bounds = sinclair_bounds(mu, graph.num_nodes, epsilon=1 / graph.num_nodes)
+    fast = is_fast_mixing(graph, num_sources=30, seed=0)
+    structure = core_structure(graph)
+    cohesive = bool(np.all(structure.num_cores == 1))
+    measurement = envelope_expansion(graph, num_sources=min(50, graph.num_nodes), seed=0)
+    small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
+    alpha = (
+        float(measurement.expansion_factors[small].mean()) if small.any() else 0.0
+    )
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["SLEM mu", f"{mu:.4f}"],
+                ["T(1/n) upper bound", f"{bounds.upper:.0f} steps"],
+                ["fast-mixing (O(log n))", "PASS" if fast else "FAIL"],
+                ["degeneracy k_max", structure.degeneracy],
+                ["max simultaneous cores", int(structure.num_cores.max())],
+                ["single cohesive core", "yes" if cohesive else "no"],
+                ["mean alpha (small envelopes)", f"{alpha:.2f}"],
+            ],
+            title="Sybil-defense readiness audit",
+        )
+    )
+    if fast and cohesive:
+        print("\nverdict: meets the fast-mixing and expansion assumptions.")
+    elif fast:
+        print("\nverdict: mixes fast but cores fragment; peripheral honest")
+        print("communities will see degraded acceptance.")
+    else:
+        print("\nverdict: slow mixing — random-walk Sybil defenses will")
+        print("either reject confined honest users or admit more Sybils.")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import measurement_report
+
+    graph = _load_target(args.target, args.scale)
+    text = measurement_report(graph, name=args.target)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    scale = args.scale
+    if args.experiment == "table1":
+        rows = table1_dataset_summary(list(available_datasets()), scale=scale)
+        print(
+            format_table(
+                ["dataset", "nodes", "edges", "mu"],
+                [[r.name, r.num_nodes, r.num_edges, f"{r.slem:.6f}"] for r in rows],
+                title="Table I",
+            )
+        )
+    elif args.experiment == "fig1":
+        profiles = figure1_mixing_profiles(
+            ["wiki_vote", "enron", "physics1", "epinions"],
+            num_sources=50,
+            scale=scale,
+        )
+        headers = ["walk len"] + list(profiles)
+        lengths = next(iter(profiles.values())).walk_lengths
+        rows = [
+            [int(w)] + [f"{profiles[n].mean[i]:.4f}" for n in profiles]
+            for i, w in enumerate(lengths)
+        ]
+        print(format_table(headers, rows, title="Figure 1 (mean TVD)"))
+        from repro.analysis import ascii_chart
+
+        print()
+        print(
+            ascii_chart(
+                {n: (p.walk_lengths, p.mean) for n, p in profiles.items()},
+                title="Figure 1 — TVD vs walk length",
+                x_label="walk length",
+                y_label="TVD",
+            )
+        )
+    elif args.experiment == "fig2":
+        ecdfs = figure2_coreness_ecdfs(
+            ["wiki_vote", "physics1", "epinions"], scale=scale
+        )
+        for name, (values, fractions) in ecdfs.items():
+            rows = [[int(v), f"{f:.3f}"] for v, f in zip(values, fractions)]
+            print(format_table(["k", "P(coreness <= k)"], rows, title=name))
+    elif args.experiment == "table2":
+        outcomes = table2_gatekeeper(num_controllers=2, scale=scale)
+        print(
+            format_table(
+                ["dataset", "f", "honest", "sybil/edge"],
+                [
+                    [
+                        o.dataset,
+                        f"{o.parameter:.1f}",
+                        f"{o.honest_acceptance:.1%}",
+                        f"{o.sybils_per_attack_edge:.2f}",
+                    ]
+                    for o in outcomes
+                ],
+                title="Table II (GateKeeper)",
+            )
+        )
+    elif args.experiment == "fig3":
+        summaries = figure3_expansion_summaries(
+            ["wiki_vote", "physics1"], num_sources=50, scale=scale
+        )
+        for name, s in summaries.items():
+            picks = np.linspace(0, s.set_sizes.size - 1, 10).astype(int)
+            rows = [
+                [
+                    int(s.set_sizes[i]),
+                    int(s.minimum[i]),
+                    f"{s.mean[i]:.1f}",
+                    int(s.maximum[i]),
+                ]
+                for i in picks
+            ]
+            print(
+                format_table(
+                    ["|S|", "min", "mean", "max"], rows, title=f"Figure 3 ({name})"
+                )
+            )
+    elif args.experiment == "fig4":
+        factors = figure4_expansion_factors(
+            ["wiki_vote", "physics1"], num_sources=50, scale=scale
+        )
+        for name, (sizes, alphas) in factors.items():
+            picks = np.linspace(0, sizes.size - 1, 10).astype(int)
+            rows = [[int(sizes[i]), f"{alphas[i]:.3f}"] for i in picks]
+            print(format_table(["|S|", "alpha"], rows, title=f"Figure 4 ({name})"))
+    elif args.experiment == "fig5":
+        structures = figure5_core_structures(
+            ["wiki_vote", "physics1", "epinions"], scale=scale
+        )
+        for name, s in structures.items():
+            rows = [
+                [int(k), f"{s.node_fraction[k]:.3f}", int(s.num_cores[k])]
+                for k in s.ks
+            ]
+            print(
+                format_table(
+                    ["k", "nu'_k", "#cores"], rows, title=f"Figure 5 ({name})"
+                )
+            )
+    else:
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Understanding Social Networks "
+            "Properties for Trustworthy Computing' (ICDCS-W 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("datasets", help="list bundled Table-I analogs")
+    audit = sub.add_parser("audit", help="audit a graph for defense readiness")
+    audit.add_argument("target", help="edge-list path or bundled dataset name")
+    audit.add_argument("--scale", type=float, default=0.25)
+    repro = sub.add_parser("reproduce", help="regenerate a paper experiment")
+    repro.add_argument(
+        "experiment",
+        choices=["table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5"],
+    )
+    repro.add_argument("--scale", type=float, default=0.25)
+    report = sub.add_parser(
+        "report", help="full markdown measurement report for a graph"
+    )
+    report.add_argument("target", help="edge-list path or bundled dataset name")
+    report.add_argument("--scale", type=float, default=0.25)
+    report.add_argument("--output", help="write the report to this file")
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "audit": _cmd_audit,
+        "reproduce": _cmd_reproduce,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

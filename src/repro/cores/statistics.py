@@ -1,0 +1,118 @@
+"""Core-structure statistics for Figures 2 and 5.
+
+Figure 2 plots the empirical CDF of node coreness.  Figure 5 plots, per
+k, the relative size nu'_k of the (possibly disconnected) k-core and the
+number of connected cores it splits into — the measurement behind the
+"fast-mixing graphs have one big core, slow-mixing graphs fragment"
+finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cores.decomposition import core_decomposition
+from repro.errors import GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import induced_subgraph
+from repro.graph.traversal import num_connected_components
+
+__all__ = [
+    "coreness_ecdf",
+    "CoreStructure",
+    "core_structure",
+    "relative_core_sizes",
+    "core_counts",
+]
+
+
+def coreness_ecdf(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(core_numbers, cumulative_fraction)`` for Figure 2.
+
+    ``cumulative_fraction[i]`` is the fraction of nodes with coreness
+    <= ``core_numbers[i]``.
+    """
+    coreness = core_decomposition(graph)
+    if coreness.size == 0:
+        raise GraphError("ECDF of an empty graph is undefined")
+    values, counts = np.unique(coreness, return_counts=True)
+    return values, np.cumsum(counts) / coreness.size
+
+
+@dataclass(frozen=True)
+class CoreStructure:
+    """Per-k core structure of one graph (Figure 5's data).
+
+    Attributes
+    ----------
+    ks:
+        Core orders ``0 .. degeneracy``.
+    node_fraction:
+        ``nu'_k = n_k / n``, the node-relative size of G'_k.
+    edge_fraction:
+        ``tau'_k = m_k / m``, the edge-relative size of G'_k.
+    num_cores:
+        Number of connected components of G'_k (the count of
+        *connected* k-cores).
+    """
+
+    ks: np.ndarray
+    node_fraction: np.ndarray
+    edge_fraction: np.ndarray
+    num_cores: np.ndarray
+
+    @property
+    def degeneracy(self) -> int:
+        """Maximum k with a non-empty core."""
+        return int(self.ks[-1])
+
+    def max_single_core_k(self) -> int:
+        """Largest k at which the k-core is still a single component."""
+        single = np.flatnonzero(self.num_cores == 1)
+        if single.size == 0:
+            raise GraphError("graph has no connected k-core at any k")
+        return int(self.ks[single[-1]])
+
+
+def core_structure(graph: Graph) -> CoreStructure:
+    """Measure nu'_k, tau'_k and the connected-core count for every k.
+
+    Computes the decomposition once, then peels shells in increasing k
+    order; each k-core's components are counted on its induced subgraph.
+    """
+    if graph.num_nodes == 0:
+        raise GraphError("core structure of an empty graph is undefined")
+    coreness = core_decomposition(graph)
+    kmax = int(coreness.max())
+    n = graph.num_nodes
+    m = max(graph.num_edges, 1)
+    ks = np.arange(kmax + 1, dtype=np.int64)
+    node_fraction = np.empty(kmax + 1)
+    edge_fraction = np.empty(kmax + 1)
+    num_cores = np.empty(kmax + 1, dtype=np.int64)
+    for k in ks:
+        keep = np.flatnonzero(coreness >= k)
+        sub, _ = induced_subgraph(graph, keep)
+        node_fraction[k] = sub.num_nodes / n
+        edge_fraction[k] = sub.num_edges / m
+        num_cores[k] = num_connected_components(sub) if sub.num_nodes else 0
+    return CoreStructure(
+        ks=ks,
+        node_fraction=node_fraction,
+        edge_fraction=edge_fraction,
+        num_cores=num_cores,
+    )
+
+
+def relative_core_sizes(graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(ks, nu'_k, tau'_k)`` — Figure 5 (a)–(e)."""
+    structure = core_structure(graph)
+    return structure.ks, structure.node_fraction, structure.edge_fraction
+
+
+def core_counts(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(ks, number of connected cores)`` — Figure 5 (f)–(j)."""
+    structure = core_structure(graph)
+    return structure.ks, structure.num_cores

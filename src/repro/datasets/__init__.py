@@ -1,0 +1,21 @@
+"""Registry of synthetic analogs for the paper's Table-I social graphs."""
+
+from repro.datasets.registry import (
+    LARGE_DATASETS,
+    MEDIUM_DATASETS,
+    SMALL_DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_dataset",
+    "SMALL_DATASETS",
+    "MEDIUM_DATASETS",
+    "LARGE_DATASETS",
+]

@@ -1,0 +1,5 @@
+"""Sybil-proof DHT routing on social graphs (Whānau, ref [10])."""
+
+from repro.dht.whanau import LookupResult, Whanau, WhanauConfig, WhanauTables
+
+__all__ = ["Whanau", "WhanauConfig", "WhanauTables", "LookupResult"]

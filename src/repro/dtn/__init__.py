@@ -1,0 +1,5 @@
+"""Social-metric DTN routing (SimBet, Daly & Haahr — ref [2])."""
+
+from repro.dtn.simbet import DeliveryStats, SimBetRouter, simulate_delivery
+
+__all__ = ["SimBetRouter", "DeliveryStats", "simulate_delivery"]

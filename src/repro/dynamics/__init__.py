@@ -1,0 +1,13 @@
+"""Dynamic social graphs: evolution models and property tracking
+(the paper's Section-VI open problem)."""
+
+from repro.dynamics.evolution import ChurnModel, GrowthModel, snapshots
+from repro.dynamics.tracking import SnapshotMetrics, track_evolution
+
+__all__ = [
+    "ChurnModel",
+    "GrowthModel",
+    "snapshots",
+    "SnapshotMetrics",
+    "track_evolution",
+]

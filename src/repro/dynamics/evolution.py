@@ -1,0 +1,160 @@
+"""Dynamic social graphs: evolution models and snapshot sequences.
+
+Section VI names this the paper's open problem: "investigate the
+expansion and mixing characteristics of dynamic social graphs ...
+understanding the long-term impact of evolution".  This module provides
+the substrate: seeded evolution models that turn a base graph into a
+sequence of snapshots.
+
+Two models cover the regimes the social-networks literature describes:
+
+* :class:`ChurnModel` — membership is stable but ties rewire: each step
+  deletes a fraction of random edges and draws replacements, either
+  uniformly ("random" — erodes community structure over time) or via
+  triadic closure ("triadic" — reinforces it).
+* :class:`GrowthModel` — densification: new nodes arrive by
+  preferential attachment (Leskovec et al.'s densification pattern,
+  cited as [8] in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import largest_connected_component
+
+__all__ = ["ChurnModel", "GrowthModel", "snapshots"]
+
+
+class ChurnModel:
+    """Edge churn over a fixed node set.
+
+    Parameters
+    ----------
+    churn_rate:
+        Fraction of edges replaced per step.
+    rewiring:
+        ``"random"`` draws replacement edges uniformly; ``"triadic"``
+        closes triangles (a neighbor's neighbor), keeping community
+        structure tight.
+    """
+
+    def __init__(
+        self, churn_rate: float = 0.05, rewiring: str = "random", seed: int = 0
+    ) -> None:
+        if not 0.0 < churn_rate <= 1.0:
+            raise GraphError("churn_rate must be in (0, 1]")
+        if rewiring not in ("random", "triadic"):
+            raise GraphError("rewiring must be 'random' or 'triadic'")
+        self._rate = churn_rate
+        self._rewiring = rewiring
+        self._rng = np.random.default_rng(seed)
+
+    def step(self, graph: Graph) -> Graph:
+        """Return the next snapshot after one churn step."""
+        if graph.num_edges < 2:
+            raise GraphError("churn needs at least 2 edges")
+        edges = graph.edge_array()
+        existing = {(int(u), int(v)) for u, v in edges}
+        num_replace = max(int(self._rate * graph.num_edges), 1)
+        drop_idx = self._rng.choice(edges.shape[0], size=num_replace, replace=False)
+        dropped = {tuple(map(int, edges[i])) for i in drop_idx}
+        kept = existing - dropped
+        added: set[tuple[int, int]] = set()
+        attempts = 0
+        while len(added) < num_replace and attempts < 50 * num_replace:
+            attempts += 1
+            candidate = self._propose(graph)
+            if candidate is None:
+                continue
+            key = (min(candidate), max(candidate))
+            if key not in kept and key not in added and key[0] != key[1]:
+                added.add(key)
+        return Graph.from_edges(
+            sorted(kept | added), num_nodes=graph.num_nodes
+        )
+
+    def _propose(self, graph: Graph) -> tuple[int, int] | None:
+        n = graph.num_nodes
+        if self._rewiring == "random":
+            return (
+                int(self._rng.integers(n)),
+                int(self._rng.integers(n)),
+            )
+        # triadic: pick u, a neighbor v, then one of v's neighbors w
+        u = int(self._rng.integers(n))
+        nbrs_u = graph.neighbors(u)
+        if nbrs_u.size == 0:
+            return None
+        v = int(nbrs_u[self._rng.integers(nbrs_u.size)])
+        nbrs_v = graph.neighbors(v)
+        w = int(nbrs_v[self._rng.integers(nbrs_v.size)])
+        return (u, w)
+
+
+class GrowthModel:
+    """Preferential-attachment growth: new nodes join each step."""
+
+    def __init__(
+        self, nodes_per_step: int = 10, attachment: int = 3, seed: int = 0
+    ) -> None:
+        if nodes_per_step < 1:
+            raise GraphError("nodes_per_step must be positive")
+        if attachment < 1:
+            raise GraphError("attachment must be positive")
+        self._per_step = nodes_per_step
+        self._attachment = attachment
+        self._rng = np.random.default_rng(seed)
+
+    def step(self, graph: Graph) -> Graph:
+        """Return the graph grown by ``nodes_per_step`` new members."""
+        if graph.num_edges == 0:
+            raise GraphError("growth needs a non-empty base graph")
+        edges = [tuple(map(int, e)) for e in graph.edge_array()]
+        repeated: list[int] = []
+        for u, v in edges:
+            repeated.extend((u, v))
+        next_id = graph.num_nodes
+        for _ in range(self._per_step):
+            wanted = min(self._attachment, next_id)
+            targets: set[int] = set()
+            while len(targets) < wanted:
+                targets.add(repeated[int(self._rng.integers(len(repeated)))])
+            for t in sorted(targets):
+                edges.append((t, next_id))
+                repeated.extend((t, next_id))
+            next_id += 1
+        return Graph.from_edges(edges, num_nodes=next_id)
+
+
+def snapshots(
+    base: Graph,
+    model: ChurnModel | GrowthModel,
+    num_steps: int,
+    keep_largest_component: bool = True,
+) -> Iterator[Graph]:
+    """Yield ``num_steps + 1`` snapshots: the base, then each evolution step.
+
+    With ``keep_largest_component`` each yielded snapshot is restricted
+    to its largest component (churn can orphan nodes), but evolution
+    continues from the full graph.
+    """
+    if num_steps < 0:
+        raise GraphError("num_steps must be non-negative")
+
+    def clean(graph: Graph) -> Graph:
+        if not keep_largest_component:
+            return graph
+        lcc, _ = largest_connected_component(graph)
+        return lcc
+
+    current = base
+    yield clean(current)
+    for _ in range(num_steps):
+        current = model.step(current)
+        yield clean(current)

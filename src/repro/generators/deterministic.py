@@ -1,0 +1,111 @@
+"""Deterministic graph families with known analytic properties.
+
+Cycles, cliques, stars, grids and barbells serve as ground truth in the
+test suite: their second largest eigenvalues, corenesses, diameters and
+expansion profiles are known in closed form, so the measurement code can
+be checked exactly against them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeneratorError
+from repro.graph.core import Graph
+from repro.graph.builder import GraphBuilder
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "barbell_graph",
+    "lollipop_graph",
+]
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Return the cycle C_n (slowly mixing; SLEM = cos(2*pi/n))."""
+    if num_nodes < 3:
+        raise GeneratorError("a cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return Graph.from_edges(edges, num_nodes=num_nodes)
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """Return the path P_n."""
+    if num_nodes < 1:
+        raise GeneratorError("a path needs at least 1 node")
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return Graph.from_edges(edges, num_nodes=num_nodes)
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """Return K_n (fastest mixing simple graph; SLEM = 1/(n-1))."""
+    if num_nodes < 1:
+        raise GeneratorError("a complete graph needs at least 1 node")
+    edges = [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]
+    return Graph.from_edges(edges, num_nodes=num_nodes)
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Return a star: node 0 is the hub, nodes 1..k its leaves."""
+    if num_leaves < 1:
+        raise GeneratorError("a star needs at least 1 leaf")
+    edges = [(0, i) for i in range(1, num_leaves + 1)]
+    return Graph.from_edges(edges, num_nodes=num_leaves + 1)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the rows x cols 2-D lattice."""
+    if rows < 1 or cols < 1:
+        raise GeneratorError("grid dimensions must be positive")
+    builder = GraphBuilder(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                builder.add_edge(node, node + 1)
+            if r + 1 < rows:
+                builder.add_edge(node, node + cols)
+    return builder.build()
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Graph:
+    """Return two K_k cliques joined by a path of ``path_length`` nodes.
+
+    The classic *slow mixing* witness: the path is a bottleneck, so the
+    walk needs a long time to cross between cliques.  With
+    ``path_length == 0`` the cliques share a single bridging edge.
+    """
+    if clique_size < 3:
+        raise GeneratorError("barbell cliques need at least 3 nodes")
+    if path_length < 0:
+        raise GeneratorError("path_length must be non-negative")
+    builder = GraphBuilder(2 * clique_size + path_length)
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            builder.add_edge(i, j)
+            builder.add_edge(clique_size + path_length + i, clique_size + path_length + j)
+    chain = [clique_size - 1]
+    chain.extend(range(clique_size, clique_size + path_length))
+    chain.append(clique_size + path_length)
+    for a, b in zip(chain, chain[1:]):
+        builder.add_edge(a, b)
+    return builder.build()
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """Return K_k with a pendant path of ``path_length`` nodes."""
+    if clique_size < 3:
+        raise GeneratorError("lollipop clique needs at least 3 nodes")
+    if path_length < 0:
+        raise GeneratorError("path_length must be non-negative")
+    builder = GraphBuilder(clique_size + path_length)
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            builder.add_edge(i, j)
+    prev = clique_size - 1
+    for i in range(clique_size, clique_size + path_length):
+        builder.add_edge(prev, i)
+        prev = i
+    return builder.build()

@@ -1,0 +1,66 @@
+"""Interaction graphs derived from friendship graphs (Wilson et al.).
+
+Reference [25]: "User interactions in social networks and their
+implications" showed that the *interaction* graph (who actually talks
+to whom) is a sparse, more community-confined subgraph of the declared
+*friendship* graph — and that security applications should be evaluated
+on it.  This module derives a synthetic interaction graph from a
+friendship graph by sampling each edge with a strength that favors
+embedded (triangle-rich) ties, reproducing Wilson's qualitative finding
+that interaction graphs mix more slowly than their friendship graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeneratorError
+from repro.graph.core import Graph
+
+__all__ = ["tie_strengths", "interaction_graph"]
+
+
+def tie_strengths(graph: Graph) -> np.ndarray:
+    """Return a per-edge strength in [0, 1]: the edge embeddedness.
+
+    Strength of edge (u, v) is the Jaccard overlap of the endpoints'
+    neighborhoods — the standard proxy for tie strength (embedded ties
+    carry most interaction; bridges carry little).
+    Rows align with :meth:`Graph.edge_array`.
+    """
+    if graph.num_edges == 0:
+        raise GeneratorError("tie strengths need at least one edge")
+    neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(graph.num_nodes)]
+    edges = graph.edge_array()
+    strengths = np.empty(edges.shape[0])
+    for i, (u, v) in enumerate(edges):
+        a, b = neighbor_sets[int(u)], neighbor_sets[int(v)]
+        union = len(a | b) - 2  # exclude the endpoints themselves
+        common = len(a & b)
+        strengths[i] = common / union if union > 0 else 0.0
+    return strengths
+
+
+def interaction_graph(
+    graph: Graph,
+    activity: float = 0.5,
+    floor: float = 0.05,
+    seed: int = 0,
+) -> Graph:
+    """Sample an interaction graph from a friendship graph.
+
+    Each friendship edge survives with probability
+    ``floor + (1 - floor) * activity * strength`` where strength is the
+    edge's embeddedness: strong (community-internal) ties interact,
+    weak bridges mostly do not.  Isolated nodes remain in the graph so
+    node ids stay aligned with the friendship graph.
+    """
+    if not 0.0 < activity <= 1.0:
+        raise GeneratorError("activity must be in (0, 1]")
+    if not 0.0 <= floor < 1.0:
+        raise GeneratorError("floor must be in [0, 1)")
+    strengths = tie_strengths(graph)
+    rng = np.random.default_rng(seed)
+    survive = rng.random(strengths.size) < floor + (1 - floor) * activity * strengths
+    kept = graph.edge_array()[survive]
+    return Graph.from_edges(kept, num_nodes=graph.num_nodes)

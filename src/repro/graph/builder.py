@@ -1,0 +1,92 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` accumulates edges cheaply (append-only Python lists)
+and materializes an immutable :class:`~repro.graph.core.Graph` on demand.
+Generators and the Sybil attack-graph construction use it to assemble
+graphs edge by edge without paying CSR rebuild costs per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator of undirected edges.
+
+    Parameters
+    ----------
+    num_nodes:
+        Minimum number of nodes in the final graph.  The node count also
+        grows automatically to cover any edge endpoint added later.
+    """
+
+    def __init__(self, num_nodes: int = 0) -> None:
+        if num_nodes < 0:
+            raise GraphError("num_nodes must be non-negative")
+        self._num_nodes = int(num_nodes)
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+
+    @property
+    def num_nodes(self) -> int:
+        """Current node count (grows with added edges and nodes)."""
+        return self._num_nodes
+
+    @property
+    def num_pending_edges(self) -> int:
+        """Number of edge records added so far (duplicates included)."""
+        return len(self._sources)
+
+    def add_node(self) -> int:
+        """Append one isolated node and return its id."""
+        node = self._num_nodes
+        self._num_nodes += 1
+        return node
+
+    def add_nodes(self, count: int) -> range:
+        """Append ``count`` isolated nodes and return their id range."""
+        if count < 0:
+            raise GraphError("count must be non-negative")
+        start = self._num_nodes
+        self._num_nodes += count
+        return range(start, self._num_nodes)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Record the undirected edge ``{u, v}``.
+
+        Self loops and duplicates are tolerated here and removed when the
+        graph is built.
+        """
+        if u < 0 or v < 0:
+            raise GraphError("node ids must be non-negative")
+        self._sources.append(int(u))
+        self._targets.append(int(v))
+        grow = max(u, v) + 1
+        if grow > self._num_nodes:
+            self._num_nodes = grow
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Record every edge in ``edges``."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def build(self) -> Graph:
+        """Materialize the accumulated edges as an immutable Graph."""
+        if not self._sources:
+            return Graph.empty(self._num_nodes)
+        edges = np.stack(
+            [
+                np.asarray(self._sources, dtype=np.int64),
+                np.asarray(self._targets, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        return Graph.from_edges(edges, num_nodes=self._num_nodes)

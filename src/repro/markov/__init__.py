@@ -1,0 +1,39 @@
+"""Markov-chain substrate: transition operators, walks and distances."""
+
+from repro.markov.hitting import (
+    commute_time,
+    effective_resistance,
+    estimate_cover_time,
+    hitting_time,
+    hitting_times_to,
+)
+from repro.markov.distance import kl_divergence, l2_distance, total_variation_distance
+from repro.markov.transition import (
+    TransitionOperator,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.markov.walks import (
+    RouteTable,
+    empirical_distribution,
+    random_walk,
+    random_walks,
+)
+
+__all__ = [
+    "TransitionOperator",
+    "transition_matrix",
+    "stationary_distribution",
+    "total_variation_distance",
+    "l2_distance",
+    "kl_divergence",
+    "random_walk",
+    "random_walks",
+    "empirical_distribution",
+    "RouteTable",
+    "hitting_time",
+    "hitting_times_to",
+    "commute_time",
+    "effective_resistance",
+    "estimate_cover_time",
+]

@@ -1,0 +1,147 @@
+"""Hitting, commute and cover times of the social-graph walk.
+
+Mixing time is one clock on a random walk; the Sybil-defense and
+routing literature also leans on its cousins:
+
+* **hitting time** H(u, v): expected steps for a walk from u to first
+  reach v (route-length budgeting in SybilGuard-style protocols);
+* **commute time** C(u, v) = H(u, v) + H(v, u): equals
+  ``2 m * R_eff(u, v)`` (effective resistance), the spectral quantity
+  behind random-walk betweenness;
+* **cover time**: expected steps to visit every node — the budget for
+  a walk-based gossip/search to reach the whole graph.
+
+Exact values come from linear solves on the Laplacian (fine for the
+analog sizes here); a Monte-Carlo estimator covers larger graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graph.core import Graph
+from repro.graph.traversal import is_connected
+from repro.markov.walks import random_walk
+
+__all__ = [
+    "hitting_time",
+    "hitting_times_to",
+    "commute_time",
+    "effective_resistance",
+    "estimate_cover_time",
+]
+
+
+def _laplacian(graph: Graph) -> np.ndarray:
+    n = graph.num_nodes
+    lap = np.zeros((n, n))
+    for u, v in graph.edges():
+        lap[u, v] -= 1.0
+        lap[v, u] -= 1.0
+    np.fill_diagonal(lap, graph.degrees.astype(float))
+    return lap
+
+
+def hitting_times_to(graph: Graph, target: int) -> np.ndarray:
+    """Return H(u, target) for every u, by solving the linear system.
+
+    ``H(target, target) = 0``; for u != target,
+    ``H(u) = 1 + mean over neighbors w of H(w)``.
+    """
+    graph._check_node(target)
+    if not is_connected(graph):
+        raise DisconnectedGraphError("hitting times need a connected graph")
+    n = graph.num_nodes
+    if n == 1:
+        return np.zeros(1)
+    # unknowns: H(u) for u != target
+    others = [u for u in range(n) if u != target]
+    index = {u: i for i, u in enumerate(others)}
+    a = np.zeros((n - 1, n - 1))
+    b = np.ones(n - 1)
+    for u in others:
+        i = index[u]
+        a[i, i] = 1.0
+        deg = graph.degree(u)
+        for w in graph.neighbors(u):
+            w = int(w)
+            if w != target:
+                a[i, index[w]] -= 1.0 / deg
+    solution = np.linalg.solve(a, b)
+    out = np.zeros(n)
+    for u in others:
+        out[u] = solution[index[u]]
+    return out
+
+
+def hitting_time(graph: Graph, source: int, target: int) -> float:
+    """Return the exact expected hitting time H(source, target)."""
+    return float(hitting_times_to(graph, target)[source])
+
+
+def effective_resistance(graph: Graph, u: int, v: int) -> float:
+    """Return the effective resistance between u and v.
+
+    Computed from the Laplacian pseudo-inverse:
+    ``R(u,v) = L+[u,u] + L+[v,v] - 2 L+[u,v]``.
+    """
+    graph._check_node(u)
+    graph._check_node(v)
+    if u == v:
+        return 0.0
+    if not is_connected(graph):
+        raise DisconnectedGraphError("effective resistance needs connectivity")
+    pinv = np.linalg.pinv(_laplacian(graph))
+    return float(pinv[u, u] + pinv[v, v] - 2 * pinv[u, v])
+
+
+def commute_time(graph: Graph, u: int, v: int) -> float:
+    """Return C(u, v) = H(u, v) + H(v, u) = 2 m R_eff(u, v)."""
+    return 2.0 * graph.num_edges * effective_resistance(graph, u, v)
+
+
+def estimate_cover_time(
+    graph: Graph,
+    num_walks: int = 20,
+    max_steps: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the cover time from random starts.
+
+    Walks until all nodes are visited (or ``max_steps``, default
+    ``50 n log n`` — well past the O(n log n) cover time of expanders);
+    returns the mean steps-to-cover over completed walks.  Raises when
+    no walk covers within the budget (slow mixer or budget too small).
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("cover time needs at least 2 nodes")
+    if not is_connected(graph):
+        raise DisconnectedGraphError("cover time needs a connected graph")
+    if num_walks < 1:
+        raise GraphError("num_walks must be positive")
+    n = graph.num_nodes
+    budget = max_steps or int(50 * n * np.log(n))
+    rng = np.random.default_rng(seed)
+    cover_steps: list[int] = []
+    indptr, indices = graph.indptr, graph.indices
+    for _ in range(num_walks):
+        current = int(rng.integers(n))
+        visited = np.zeros(n, dtype=bool)
+        visited[current] = True
+        remaining = n - 1
+        for step in range(1, budget + 1):
+            lo, hi = indptr[current], indptr[current + 1]
+            current = int(indices[lo + rng.integers(hi - lo)])
+            if not visited[current]:
+                visited[current] = True
+                remaining -= 1
+                if remaining == 0:
+                    cover_steps.append(step)
+                    break
+    if not cover_steps:
+        raise GraphError(
+            f"no walk covered the graph within {budget} steps; "
+            "increase max_steps"
+        )
+    return float(np.mean(cover_steps))

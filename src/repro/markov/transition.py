@@ -1,0 +1,141 @@
+"""Random-walk transition operator over a graph.
+
+Implements the stochastic matrix P of Eq. (1) in the paper:
+``p_ij = 1/deg(v_i)`` when ``v_j`` is adjacent to ``v_i`` and 0 otherwise,
+with its stationary distribution ``pi = [deg(v_i) / 2m]`` and fast
+repeated application via scipy sparse matvecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+__all__ = [
+    "TransitionOperator",
+    "stationary_distribution",
+    "transition_matrix",
+]
+
+
+def transition_matrix(graph: Graph, lazy: bool = False) -> sp.csr_matrix:
+    """Return the n x n transition matrix P as a scipy CSR matrix.
+
+    With ``lazy=True`` returns ``(I + P) / 2``, the lazy walk used to
+    guarantee aperiodicity on bipartite structures.  Nodes of degree zero
+    get a self loop (they are absorbing), so P stays row stochastic.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise GraphError("transition matrix of an empty graph is undefined")
+    degrees = graph.degrees.astype(float)
+    isolated = np.flatnonzero(degrees == 0)
+    inv_deg = np.zeros(n, dtype=float)
+    nonzero = degrees > 0
+    inv_deg[nonzero] = 1.0 / degrees[nonzero]
+    data = np.repeat(inv_deg, graph.degrees)
+    matrix = sp.csr_matrix(
+        (data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n)
+    )
+    if isolated.size:
+        matrix = matrix + sp.csr_matrix(
+            (np.ones(isolated.size), (isolated, isolated)), shape=(n, n)
+        )
+    if lazy:
+        matrix = 0.5 * (sp.identity(n, format="csr") + matrix)
+    return matrix.tocsr()
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """Return ``pi`` with ``pi[v] = deg(v) / 2m`` (Section III-C).
+
+    For graphs with isolated nodes the distribution is normalized over
+    positive-degree nodes only, matching the chain restricted to the
+    non-absorbing part.
+    """
+    degrees = graph.degrees.astype(float)
+    total = degrees.sum()
+    if total == 0:
+        raise GraphError("stationary distribution undefined for an edgeless graph")
+    return degrees / total
+
+
+class TransitionOperator:
+    """Cached transition operator supporting repeated t-step evolution.
+
+    Builds the sparse matrix once and exposes ``evolve`` (one step) and
+    ``distribution_after`` (t steps) plus the stationary distribution.
+    Used heavily by the sampled mixing-time measurement, which evolves a
+    delta distribution from each sampled source.
+    """
+
+    def __init__(self, graph: Graph, lazy: bool = False) -> None:
+        self._graph = graph
+        self._lazy = lazy
+        self._matrix = transition_matrix(graph, lazy=lazy)
+        self._stationary = stationary_distribution(graph)
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def lazy(self) -> bool:
+        """Whether this is the lazy (I + P)/2 chain."""
+        return self._lazy
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        """The sparse row-stochastic matrix P."""
+        return self._matrix
+
+    @property
+    def stationary(self) -> np.ndarray:
+        """The stationary distribution pi."""
+        return self._stationary
+
+    def delta(self, node: int) -> np.ndarray:
+        """Return the distribution concentrated at ``node``."""
+        self._graph._check_node(node)
+        dist = np.zeros(self._graph.num_nodes)
+        dist[node] = 1.0
+        return dist
+
+    def evolve(self, distribution: np.ndarray) -> np.ndarray:
+        """Return ``distribution @ P`` (one walk step)."""
+        dist = np.asarray(distribution, dtype=float)
+        if dist.shape != (self._graph.num_nodes,):
+            raise GraphError(
+                f"distribution must have shape ({self._graph.num_nodes},)"
+            )
+        return self._matrix.T @ dist
+
+    def distribution_after(self, start: np.ndarray | int, steps: int) -> np.ndarray:
+        """Return the walk distribution after ``steps`` steps.
+
+        ``start`` may be a node id (delta start) or a full distribution.
+        """
+        if steps < 0:
+            raise GraphError("steps must be non-negative")
+        dist = self.delta(start) if isinstance(start, (int, np.integer)) else np.asarray(
+            start, dtype=float
+        )
+        for _ in range(steps):
+            dist = self.evolve(dist)
+        return dist
+
+    def trajectory(self, start: np.ndarray | int, steps: int) -> np.ndarray:
+        """Return a ``(steps + 1, n)`` array of distributions along the walk."""
+        dist = self.delta(start) if isinstance(start, (int, np.integer)) else np.asarray(
+            start, dtype=float
+        )
+        out = np.empty((steps + 1, self._graph.num_nodes))
+        out[0] = dist
+        for t in range(1, steps + 1):
+            dist = self.evolve(dist)
+            out[t] = dist
+        return out

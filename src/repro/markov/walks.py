@@ -1,0 +1,145 @@
+"""Monte-Carlo random walks on graphs.
+
+The Sybil defenses in :mod:`repro.sybil` are built on sampled walks and
+random *routes* (SybilGuard's permutation-based deterministic walks);
+this module provides both, plus empirical visit distributions for
+cross-checking the algebraic evolution in
+:class:`~repro.markov.transition.TransitionOperator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+__all__ = [
+    "random_walk",
+    "random_walks",
+    "empirical_distribution",
+    "RouteTable",
+]
+
+
+def random_walk(
+    graph: Graph,
+    source: int,
+    length: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Return a walk as an array of ``length + 1`` node ids.
+
+    The walk follows Eq. (1): at each step a uniformly random neighbor.
+    A walk stuck at an isolated node stays there.
+    """
+    graph._check_node(source)
+    if length < 0:
+        raise GraphError("length must be non-negative")
+    rng = rng or np.random.default_rng()
+    path = np.empty(length + 1, dtype=np.int64)
+    path[0] = source
+    current = source
+    indptr, indices = graph.indptr, graph.indices
+    for step in range(1, length + 1):
+        lo, hi = indptr[current], indptr[current + 1]
+        if hi > lo:
+            current = int(indices[lo + rng.integers(hi - lo)])
+        path[step] = current
+    return path
+
+
+def random_walks(
+    graph: Graph,
+    source: int,
+    length: int,
+    count: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Return ``count`` independent walks as a ``(count, length + 1)`` array."""
+    rng = rng or np.random.default_rng()
+    return np.stack(
+        [random_walk(graph, source, length, rng=rng) for _ in range(count)]
+    )
+
+
+def empirical_distribution(
+    graph: Graph,
+    source: int,
+    length: int,
+    num_samples: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Estimate the ``length``-step distribution from ``num_samples`` walks.
+
+    Converges to ``TransitionOperator.distribution_after(source, length)``
+    as the sample count grows; tests use this agreement as an invariant.
+    """
+    if num_samples < 1:
+        raise GraphError("num_samples must be positive")
+    rng = rng or np.random.default_rng()
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    for _ in range(num_samples):
+        walk = random_walk(graph, source, length, rng=rng)
+        counts[walk[-1]] += 1
+    return counts / num_samples
+
+
+class RouteTable:
+    """Per-node random permutations for SybilGuard-style *random routes*.
+
+    Each node fixes a random permutation mapping incoming-edge positions
+    to outgoing-edge positions.  A route entering node ``v`` through its
+    ``i``-th incident edge always leaves through edge ``perm_v[i]``,
+    which makes routes deterministic given entry point and guarantees
+    the back-traceable / convergent route properties SybilGuard relies
+    on.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0) -> None:
+        self._graph = graph
+        rng = np.random.default_rng(seed)
+        self._perms: list[np.ndarray] = [
+            rng.permutation(graph.degree(v)) for v in range(graph.num_nodes)
+        ]
+
+    @property
+    def graph(self) -> Graph:
+        """The graph the routes are defined over."""
+        return self._graph
+
+    def _edge_position(self, node: int, neighbor: int) -> int:
+        nbrs = self._graph.neighbors(node)
+        pos = int(np.searchsorted(nbrs, neighbor))
+        if pos >= nbrs.size or nbrs[pos] != neighbor:
+            raise GraphError(f"{neighbor} is not adjacent to {node}")
+        return pos
+
+    def next_hop(self, previous: int, current: int) -> int:
+        """Return the node a route at ``current`` (arrived from
+        ``previous``) exits to."""
+        enter = self._edge_position(current, previous)
+        leave = int(self._perms[current][enter])
+        return int(self._graph.neighbors(current)[leave])
+
+    def route(self, source: int, first_hop: int, length: int) -> np.ndarray:
+        """Return the deterministic route of ``length`` edges starting
+        ``source -> first_hop``."""
+        if length < 1:
+            raise GraphError("route length must be at least 1")
+        path = np.empty(length + 1, dtype=np.int64)
+        path[0] = source
+        path[1] = first_hop
+        prev, cur = source, first_hop
+        for i in range(2, length + 1):
+            nxt = self.next_hop(prev, cur)
+            path[i] = nxt
+            prev, cur = cur, nxt
+        return path
+
+    def routes_from(self, source: int, length: int) -> list[np.ndarray]:
+        """Return one route per incident edge of ``source``."""
+        return [
+            self.route(source, int(nbr), length)
+            for nbr in self._graph.neighbors(source)
+        ]

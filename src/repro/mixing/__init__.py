@@ -1,0 +1,41 @@
+"""Mixing-time measurement: sampling method and spectral bounds."""
+
+from repro.mixing.sampling import (
+    MixingProfile,
+    is_fast_mixing,
+    mixing_time_from_profile,
+    sampled_mixing_profile,
+    sampled_mixing_time,
+)
+from repro.mixing.spectral import (
+    MixingBounds,
+    normalized_adjacency,
+    sinclair_bounds,
+    slem,
+    spectral_gap,
+    spectral_mixing_time,
+)
+from repro.mixing.trust import (
+    ModulatedOperator,
+    mixing_cost_of_trust,
+    modulated_mixing_profile,
+    modulated_transition_matrix,
+)
+
+__all__ = [
+    "MixingProfile",
+    "sampled_mixing_profile",
+    "mixing_time_from_profile",
+    "sampled_mixing_time",
+    "is_fast_mixing",
+    "slem",
+    "spectral_gap",
+    "normalized_adjacency",
+    "MixingBounds",
+    "sinclair_bounds",
+    "spectral_mixing_time",
+    "ModulatedOperator",
+    "modulated_transition_matrix",
+    "modulated_mixing_profile",
+    "mixing_cost_of_trust",
+]

@@ -1,0 +1,132 @@
+"""Spectral mixing-time machinery: SLEM and the Sinclair bounds.
+
+The paper's Table I reports the second largest eigenvalue (modulus) of
+each graph's transition matrix, and Section III-C uses Sinclair's result
+
+    (mu / (1 - mu)) * log(1 / (2 eps))  <=  T(eps)
+    T(eps)  <=  (log n + log(1 / eps)) / (1 - mu)
+
+to bound the mixing time from mu.  Because P is similar to the symmetric
+normalized adjacency ``D^{-1/2} A D^{-1/2}``, its spectrum is real; the
+SLEM is the second largest eigenvalue in absolute value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ConvergenceError, GraphError
+from repro.graph.core import Graph
+
+__all__ = [
+    "normalized_adjacency",
+    "slem",
+    "spectral_gap",
+    "MixingBounds",
+    "sinclair_bounds",
+    "spectral_mixing_time",
+]
+
+
+def normalized_adjacency(graph: Graph) -> sp.csr_matrix:
+    """Return ``D^{-1/2} A D^{-1/2}`` as a scipy CSR matrix.
+
+    Shares P's eigenvalues (similarity transform by ``D^{1/2}``) while
+    being symmetric, which lets us use Lanczos iteration.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        raise GraphError("normalized adjacency of an empty graph is undefined")
+    degrees = graph.degrees.astype(float)
+    inv_sqrt = np.zeros(n)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    data = inv_sqrt[src] * inv_sqrt[graph.indices]
+    return sp.csr_matrix((data, graph.indices.copy(), graph.indptr.copy()), shape=(n, n))
+
+
+def _dense_slem(matrix: sp.csr_matrix) -> float:
+    values = np.linalg.eigvalsh(matrix.toarray())
+    magnitudes = np.sort(np.abs(values))[::-1]
+    return float(magnitudes[1]) if magnitudes.size > 1 else 0.0
+
+
+def slem(graph: Graph, tol: float = 1e-10, dense_threshold: int = 400) -> float:
+    """Return the second largest eigenvalue modulus of P.
+
+    Small graphs are solved densely; larger ones via Lanczos on the
+    normalized adjacency (asking for the three largest-magnitude
+    eigenvalues and discarding the leading 1).
+    """
+    if graph.num_nodes < 2:
+        raise GraphError("SLEM needs at least 2 nodes")
+    matrix = normalized_adjacency(graph)
+    n = graph.num_nodes
+    if n <= dense_threshold:
+        return _dense_slem(matrix)
+    try:
+        values = spla.eigsh(
+            matrix, k=3, which="LM", return_eigenvectors=False, tol=tol
+        )
+    except (spla.ArpackNoConvergence, spla.ArpackError) as exc:
+        raise ConvergenceError(f"Lanczos failed to converge: {exc}") from exc
+    magnitudes = np.sort(np.abs(values))[::-1]
+    # the leading eigenvalue of a connected graph is exactly 1; the next
+    # magnitude is the SLEM.  Guard against numerically duplicated 1s on
+    # disconnected graphs by clipping.
+    return float(min(magnitudes[1], 1.0))
+
+
+def spectral_gap(graph: Graph, **kwargs: float) -> float:
+    """Return ``1 - slem(graph)``, the spectral gap of the chain."""
+    return 1.0 - slem(graph, **kwargs)
+
+
+@dataclass(frozen=True)
+class MixingBounds:
+    """Sinclair lower/upper bounds on T(eps) computed from the SLEM."""
+
+    slem: float
+    epsilon: float
+    num_nodes: int
+    lower: float
+    upper: float
+
+
+def sinclair_bounds(mu: float, num_nodes: int, epsilon: float) -> MixingBounds:
+    """Return the Sinclair bounds on ``T(eps)`` given SLEM ``mu``.
+
+    Raises for degenerate inputs (``mu >= 1`` means no spectral gap and
+    an unbounded chain — a disconnected or bipartite graph).
+    """
+    if not 0.0 <= mu < 1.0:
+        raise GraphError("SLEM must lie in [0, 1) for finite mixing bounds")
+    if not 0.0 < epsilon < 1.0:
+        raise GraphError("epsilon must lie in (0, 1)")
+    if num_nodes < 2:
+        raise GraphError("num_nodes must be at least 2")
+    gap = 1.0 - mu
+    lower = (mu / gap) * math.log(1.0 / (2.0 * epsilon))
+    upper = (math.log(num_nodes) + math.log(1.0 / epsilon)) / gap
+    return MixingBounds(
+        slem=mu, epsilon=epsilon, num_nodes=num_nodes, lower=max(lower, 0.0), upper=upper
+    )
+
+
+def spectral_mixing_time(
+    graph: Graph, epsilon: float | None = None, **slem_kwargs: float
+) -> MixingBounds:
+    """Measure SLEM then return Sinclair bounds.
+
+    ``epsilon`` defaults to ``1/n``, the fast-mixing threshold scale
+    used throughout the paper (``eps = Theta(1/n)``).
+    """
+    eps = 1.0 / graph.num_nodes if epsilon is None else epsilon
+    mu = slem(graph, **slem_kwargs)
+    return sinclair_bounds(mu, graph.num_nodes, eps)

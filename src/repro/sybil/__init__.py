@@ -1,0 +1,79 @@
+"""Social-network Sybil defenses: attack model, five published defenses
+(GateKeeper, SybilGuard, SybilLimit, SybilInfer, SumUp) and a shared
+evaluation harness."""
+
+from repro.sybil.attack import SybilAttack, inject_sybils
+from repro.sybil.comparison import DEFENSE_NAMES, compare_defenses, evaluate_defense
+from repro.sybil.escape import (
+    EscapeMeasurement,
+    exact_escape_probability,
+    measure_escape,
+)
+from repro.sybil.gatekeeper import GateKeeper, GateKeeperConfig, GateKeeperResult
+from repro.sybil.harness import (
+    DefenseOutcome,
+    evaluate_gatekeeper,
+    gatekeeper_table_row,
+    standard_attack,
+)
+from repro.sybil.ranking import (
+    accept_top,
+    modulated_walk_ranking,
+    ranking_correlation,
+    ranking_order,
+    ranking_overlap,
+    walk_probability_ranking,
+)
+from repro.sybil.sumup import SumUp, SumUpConfig, SumUpResult
+from repro.sybil.sybildefender import SybilDefender, SybilDefenderConfig
+from repro.sybil.sybilrank import SybilRank, SybilRankConfig, SybilRankResult
+from repro.sybil.sybilguard import SybilGuard, SybilGuardConfig
+from repro.sybil.sybilinfer import SybilInfer, SybilInferConfig, SybilInferResult
+from repro.sybil.sybillimit import SybilLimit, SybilLimitConfig
+from repro.sybil.tickets import (
+    TicketDistribution,
+    adaptive_ticket_count,
+    distribute_tickets,
+)
+
+__all__ = [
+    "SybilAttack",
+    "inject_sybils",
+    "DEFENSE_NAMES",
+    "evaluate_defense",
+    "compare_defenses",
+    "EscapeMeasurement",
+    "measure_escape",
+    "exact_escape_probability",
+    "TicketDistribution",
+    "distribute_tickets",
+    "adaptive_ticket_count",
+    "GateKeeper",
+    "GateKeeperConfig",
+    "GateKeeperResult",
+    "SybilGuard",
+    "SybilGuardConfig",
+    "SybilLimit",
+    "SybilLimitConfig",
+    "SybilInfer",
+    "SybilInferConfig",
+    "SybilInferResult",
+    "SumUp",
+    "SumUpConfig",
+    "SumUpResult",
+    "SybilRank",
+    "SybilRankConfig",
+    "SybilRankResult",
+    "SybilDefender",
+    "SybilDefenderConfig",
+    "walk_probability_ranking",
+    "ranking_order",
+    "accept_top",
+    "ranking_overlap",
+    "ranking_correlation",
+    "modulated_walk_ranking",
+    "DefenseOutcome",
+    "standard_attack",
+    "evaluate_gatekeeper",
+    "gatekeeper_table_row",
+]

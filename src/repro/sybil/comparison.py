@@ -1,0 +1,180 @@
+"""Uniform cross-defense evaluation (the Viswanath-style experiment).
+
+Viswanath et al. compared SybilGuard, SybilLimit, SybilInfer and SumUp
+under one harness and found they all make the same community-shaped
+cut.  This module provides that harness over our five implementations:
+one attack scenario in, one :class:`~repro.sybil.harness.DefenseOutcome`
+per defense out, with consistent honest-acceptance / Sybils-per-edge
+accounting.
+
+Route-based defenses are evaluated on a suspect sample (their per-pair
+verification is expensive by design); sample-based results are rescaled
+to the full graph by stratifying honest and Sybil suspects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SybilDefenseError
+from repro.sybil.attack import SybilAttack
+from repro.sybil.gatekeeper import GateKeeper, GateKeeperConfig
+from repro.sybil.harness import DefenseOutcome
+from repro.sybil.ranking import accept_top, walk_probability_ranking
+from repro.sybil.sumup import SumUp
+from repro.sybil.sybildefender import SybilDefender, SybilDefenderConfig
+from repro.sybil.sybilguard import SybilGuard, SybilGuardConfig
+from repro.sybil.sybilrank import SybilRank
+from repro.sybil.sybilinfer import SybilInfer, SybilInferConfig
+from repro.sybil.sybillimit import SybilLimit, SybilLimitConfig
+
+__all__ = ["DEFENSE_NAMES", "evaluate_defense", "compare_defenses"]
+
+DEFENSE_NAMES = (
+    "gatekeeper",
+    "sybilguard",
+    "sybillimit",
+    "sybilinfer",
+    "sybilrank",
+    "sybildefender",
+    "sumup",
+    "ranking",
+)
+
+
+def _stratified_suspects(
+    attack: SybilAttack, sample_size: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    half = sample_size // 2
+    honest = rng.choice(
+        attack.num_honest, size=min(half, attack.num_honest), replace=False
+    )
+    sybil = rng.choice(
+        attack.sybil_nodes, size=min(half, attack.num_sybil), replace=False
+    )
+    return honest, sybil
+
+
+def _sampled_outcome(
+    attack: SybilAttack,
+    accepted: np.ndarray,
+    honest_sample: np.ndarray,
+    sybil_sample: np.ndarray,
+) -> tuple[float, float]:
+    """Rescale sample acceptance rates to whole-graph Table-II metrics."""
+    accepted_set = set(int(x) for x in accepted)
+    honest_rate = (
+        sum(1 for s in honest_sample if int(s) in accepted_set)
+        / max(honest_sample.size, 1)
+    )
+    sybil_rate = (
+        sum(1 for s in sybil_sample if int(s) in accepted_set)
+        / max(sybil_sample.size, 1)
+    )
+    sybils_total = sybil_rate * attack.num_sybil
+    return honest_rate, sybils_total / max(attack.num_attack_edges, 1)
+
+
+def evaluate_defense(
+    attack: SybilAttack,
+    defense: str,
+    verifier: int = 0,
+    suspect_sample: int = 120,
+    dataset: str = "unknown",
+    seed: int = 0,
+) -> DefenseOutcome:
+    """Run one defense on one attack scenario.
+
+    ``verifier`` is the honest controller / verifier / trusted node /
+    vote collector, depending on the defense.
+    """
+    if defense not in DEFENSE_NAMES:
+        raise SybilDefenseError(
+            f"unknown defense {defense!r}; expected one of {DEFENSE_NAMES}"
+        )
+    if not 0 <= verifier < attack.num_honest:
+        raise SybilDefenseError("the verifier must be an honest node")
+    rng = np.random.default_rng(seed)
+    honest_sample, sybil_sample = _stratified_suspects(attack, suspect_sample, rng)
+    suspects = np.concatenate([honest_sample, sybil_sample])
+
+    if defense == "gatekeeper":
+        result = GateKeeper(
+            attack.graph,
+            GateKeeperConfig(num_distributors=50, admission_factor=0.2, seed=seed),
+        ).run(verifier)
+        honest_frac, per_edge = attack.evaluate_accepted(result.admitted)
+    elif defense == "sybilguard":
+        guard = SybilGuard(attack.graph, SybilGuardConfig(seed=seed))
+        accepted = guard.accepted_set(verifier, suspects)
+        honest_frac, per_edge = _sampled_outcome(
+            attack, accepted, honest_sample, sybil_sample
+        )
+    elif defense == "sybillimit":
+        limit = SybilLimit(attack.graph, SybilLimitConfig(seed=seed))
+        accepted = limit.verify_all(verifier, suspects)
+        honest_frac, per_edge = _sampled_outcome(
+            attack, accepted, honest_sample, sybil_sample
+        )
+    elif defense == "sybilinfer":
+        infer = SybilInfer(
+            attack.graph,
+            SybilInferConfig(num_samples=80, burn_in=40, seed=seed),
+        )
+        accepted = infer.run(verifier).accepted(0.5)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
+    elif defense == "sybilrank":
+        result = SybilRank(attack.graph).run(seeds=[verifier])
+        accepted = result.accepted(attack.num_honest)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
+    elif defense == "sybildefender":
+        defender = SybilDefender(
+            attack.graph, SybilDefenderConfig(seed=seed)
+        )
+        accepted = defender.accepted_set(verifier, suspects)
+        honest_frac, per_edge = _sampled_outcome(
+            attack, accepted, honest_sample, sybil_sample
+        )
+    elif defense == "sumup":
+        sumup = SumUp(attack.graph)
+        collector = verifier
+        honest_votes = sumup.collect(collector, honest_sample).collected_votes
+        sybil_votes = sumup.collect(collector, sybil_sample).collected_votes
+        honest_frac = honest_votes / max(honest_sample.size, 1)
+        per_edge = (
+            sybil_votes / max(sybil_sample.size, 1) * attack.num_sybil
+        ) / max(attack.num_attack_edges, 1)
+    else:  # ranking
+        scores = walk_probability_ranking(attack.graph, trusted=verifier)
+        accepted = accept_top(scores, attack.num_honest)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
+    return DefenseOutcome(
+        dataset=dataset,
+        defense=defense,
+        parameter=0.0,
+        honest_acceptance=float(honest_frac),
+        sybils_per_attack_edge=float(per_edge),
+        num_controllers=1,
+    )
+
+
+def compare_defenses(
+    attack: SybilAttack,
+    defenses: tuple[str, ...] = DEFENSE_NAMES,
+    verifier: int = 0,
+    suspect_sample: int = 120,
+    dataset: str = "unknown",
+    seed: int = 0,
+) -> list[DefenseOutcome]:
+    """Evaluate several defenses on the same attack scenario."""
+    return [
+        evaluate_defense(
+            attack,
+            name,
+            verifier=verifier,
+            suspect_sample=suspect_sample,
+            dataset=dataset,
+            seed=seed,
+        )
+        for name in defenses
+    ]

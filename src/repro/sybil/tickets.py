@@ -1,0 +1,163 @@
+"""Level-based ticket distribution, the primitive shared by GateKeeper
+and SumUp.
+
+A distributor starts with ``t`` tickets at BFS level 0.  Each node that
+receives tickets consumes one (admitting itself / becoming eligible) and
+splits the rest evenly over its *forward* links — edges to neighbors one
+BFS level farther from the distributor.  Tickets that reach a node with
+no forward links are dropped.  Because the number of edges crossing into
+the Sybil region is bounded by the attack-edge count, only O(1) tickets
+per attack edge can ever leak, which is the source of both protocols'
+per-attack-edge guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SybilDefenseError
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+
+__all__ = [
+    "TicketDistribution",
+    "TicketPlan",
+    "distribute_tickets",
+    "adaptive_ticket_count",
+]
+
+
+@dataclass(frozen=True)
+class TicketDistribution:
+    """Outcome of one ticket distribution run.
+
+    Attributes
+    ----------
+    source:
+        The distributor node.
+    tickets_sent:
+        The initial ticket count ``t``.
+    node_tickets:
+        Tickets received per node (the distributor counts its own ``t``).
+    reached:
+        Node ids that received at least one ticket.
+    edge_tickets:
+        Mapping ``(u, v) -> tickets`` forwarded along each directed
+        forward edge; SumUp turns these into link capacities.
+    """
+
+    source: int
+    tickets_sent: float
+    node_tickets: np.ndarray
+    reached: np.ndarray
+    edge_tickets: dict[tuple[int, int], float]
+
+
+class TicketPlan:
+    """The BFS scaffolding for repeated distributions from one source.
+
+    GateKeeper's adaptive doubling re-runs the distribution with larger
+    budgets; the BFS levels and forward-edge classification only depend
+    on (graph, source), so they are computed once here and reused.
+    """
+
+    def __init__(self, graph: Graph, source: int) -> None:
+        graph._check_node(source)
+        self._graph = graph
+        self._source = int(source)
+        n = graph.num_nodes
+        self._dist = bfs_distances(graph, source)
+        reachable = self._dist >= 0
+        self._max_level = int(self._dist[reachable].max()) if reachable.any() else 0
+        src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        dst = graph.indices
+        forward = (self._dist[src] >= 0) & (self._dist[dst] == self._dist[src] + 1)
+        self._fsrc = src[forward]
+        self._fdst = dst[forward]
+        self._forward_count = np.bincount(self._fsrc, minlength=n).astype(float)
+        self._src_level = self._dist[self._fsrc]
+
+    @property
+    def source(self) -> int:
+        """The distributor node."""
+        return self._source
+
+    def run(self, num_tickets: float) -> TicketDistribution:
+        """Distribute ``num_tickets`` tickets level by level."""
+        if num_tickets < 1:
+            raise SybilDefenseError("num_tickets must be at least 1")
+        n = self._graph.num_nodes
+        tickets = np.zeros(n, dtype=float)
+        tickets[self._source] = float(num_tickets)
+        edge_share = np.zeros(self._fsrc.size, dtype=float)
+        has_forward = self._forward_count > 0
+        for level in range(self._max_level):
+            at_level = self._src_level == level
+            if not at_level.any():
+                continue
+            available = np.maximum(tickets - 1.0, 0.0)  # one consumed per node
+            share = np.zeros(n, dtype=float)
+            share[has_forward] = (
+                available[has_forward] / self._forward_count[has_forward]
+            )
+            contribution = share[self._fsrc[at_level]]
+            edge_share[at_level] = contribution
+            np.add.at(tickets, self._fdst[at_level], contribution)
+        positive = edge_share > 0
+        edge_tickets = {
+            (int(u), int(v)): float(s)
+            for u, v, s in zip(
+                self._fsrc[positive], self._fdst[positive], edge_share[positive]
+            )
+        }
+        reached = np.flatnonzero(tickets >= 1.0).astype(np.int64)
+        return TicketDistribution(
+            source=self._source,
+            tickets_sent=float(num_tickets),
+            node_tickets=tickets,
+            reached=reached,
+            edge_tickets=edge_tickets,
+        )
+
+
+def distribute_tickets(
+    graph: Graph, source: int, num_tickets: float
+) -> TicketDistribution:
+    """Run the GateKeeper/SumUp ticket distribution from ``source``."""
+    return TicketPlan(graph, source).run(num_tickets)
+
+
+def adaptive_ticket_count(
+    graph: Graph,
+    source: int,
+    target_reached: int,
+    initial: float = 2.0,
+    max_doublings: int = 40,
+) -> TicketDistribution:
+    """Double the ticket count until >= ``target_reached`` nodes are reached.
+
+    This is GateKeeper's adaptive estimation of ``t``: the protocol does
+    not know n, so each distributor doubles its ticket budget until the
+    reach target is hit.  Raises :class:`SybilDefenseError` if the target
+    is unreachable (e.g. disconnected graph).
+    """
+    if target_reached < 1:
+        raise SybilDefenseError("target_reached must be positive")
+    plan = TicketPlan(graph, source)
+    tickets = max(initial, 1.0)
+    best: TicketDistribution | None = None
+    for _ in range(max_doublings):
+        result = plan.run(tickets)
+        best = result
+        if result.reached.size >= target_reached:
+            return result
+        tickets *= 2.0
+    assert best is not None
+    if best.reached.size < target_reached:
+        raise SybilDefenseError(
+            f"distributor {source} reached only {best.reached.size} nodes "
+            f"(target {target_reached}) after {max_doublings} doublings"
+        )
+    return best

@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic graphs and tiny dataset analogs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.generators import (
+    barabasi_albert,
+    community_social_graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square_with_tail() -> Graph:
+    """A 4-cycle with a pendant path 4-5: known coreness (2,2,2,2,1,1)."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5)])
+
+
+@pytest.fixture
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture
+def c7() -> Graph:
+    """Odd cycle: aperiodic, SLEM = cos(2*pi/7)."""
+    return cycle_graph(7)
+
+
+@pytest.fixture
+def p10() -> Graph:
+    return path_graph(10)
+
+
+@pytest.fixture
+def star10() -> Graph:
+    return star_graph(10)
+
+
+@pytest.fixture
+def ba_small() -> Graph:
+    """A 300-node fast-mixing power-law graph."""
+    return barabasi_albert(300, 4, seed=7)
+
+
+@pytest.fixture
+def community_small() -> Graph:
+    """A 400-node slow-mixing community graph."""
+    return community_social_graph(400, 4, 2, 0.01, seed=11)
+
+
+@pytest.fixture
+def tiny_wiki() -> Graph:
+    """The wiki_vote analog at toy scale (fast mixing)."""
+    return load_dataset("wiki_vote", scale=0.1)
+
+
+@pytest.fixture
+def tiny_physics() -> Graph:
+    """The physics1 analog at toy scale (slow mixing)."""
+    return load_dataset("physics1", scale=0.15)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

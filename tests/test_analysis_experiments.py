@@ -1,0 +1,138 @@
+"""Unit tests for the per-table/figure experiment runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expansion_mixing_correlation,
+    figure1_mixing_profiles,
+    figure2_coreness_ecdfs,
+    figure3_expansion_summaries,
+    figure4_expansion_factors,
+    figure5_core_structures,
+    mixing_core_correlation,
+    table1_dataset_summary,
+    table2_gatekeeper,
+)
+
+SCALE = 0.15
+FAST = "wiki_vote"
+SLOW = "physics1"
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1_dataset_summary([FAST, SLOW], scale=SCALE)
+        assert [r.name for r in rows] == [FAST, SLOW]
+        for row in rows:
+            assert row.num_nodes > 0
+            assert 0 < row.slem < 1
+            assert row.paper_nodes > row.num_nodes  # analogs are scaled down
+
+    def test_slem_ordering_matches_regimes(self):
+        rows = {r.name: r for r in table1_dataset_summary([FAST, SLOW], scale=SCALE)}
+        assert rows[FAST].slem < rows[SLOW].slem
+
+
+class TestFigure1:
+    def test_profiles(self):
+        profiles = figure1_mixing_profiles(
+            [FAST, SLOW], walk_lengths=[2, 8, 32], num_sources=10, scale=SCALE
+        )
+        assert set(profiles) == {FAST, SLOW}
+        fast, slow = profiles[FAST], profiles[SLOW]
+        assert np.all(fast.mean <= slow.mean)
+        assert fast.mean[-1] < 0.1
+
+
+class TestFigure2:
+    def test_ecdfs(self):
+        ecdfs = figure2_coreness_ecdfs([FAST, SLOW], scale=SCALE)
+        for name, (values, fractions) in ecdfs.items():
+            assert fractions[-1] == pytest.approx(1.0)
+            assert np.all(np.diff(values) > 0)
+
+
+class TestTable2:
+    def test_gatekeeper_rows(self):
+        outcomes = table2_gatekeeper(
+            datasets=[FAST],
+            attack_edges={FAST: 4},
+            admission_factors=[0.1, 0.3],
+            num_controllers=1,
+            scale=SCALE,
+        )
+        assert len(outcomes) == 2
+        by_f = {o.parameter: o for o in outcomes}
+        assert by_f[0.1].honest_acceptance >= by_f[0.3].honest_acceptance
+
+
+class TestFigures3And4:
+    def test_summaries(self):
+        summaries = figure3_expansion_summaries([FAST], num_sources=15, scale=SCALE)
+        summary = summaries[FAST]
+        assert np.all(summary.minimum <= summary.maximum)
+        assert summary.set_sizes.size > 0
+
+    def test_factors(self):
+        factors = figure4_expansion_factors([FAST, SLOW], num_sources=15, scale=SCALE)
+        sizes, alphas = factors[FAST]
+        assert sizes.size == alphas.size
+        assert np.all(alphas > 0)
+
+
+class TestFigure5:
+    def test_structures(self):
+        structures = figure5_core_structures([FAST, SLOW], scale=SCALE)
+        assert np.all(structures[FAST].num_cores == 1)
+        assert structures[SLOW].num_cores.max() > 1
+
+
+class TestAblation:
+    def test_mixing_core_correlation_positive(self):
+        rho, scores = mixing_core_correlation(
+            [FAST, SLOW, "epinions", "dblp"], scale=SCALE, num_sources=15
+        )
+        assert len(scores) == 4
+        assert rho > 0  # faster mixing <-> bigger mid-k core
+
+    def test_expansion_mixing_correlation_positive(self):
+        rho, scores = expansion_mixing_correlation(
+            [FAST, SLOW, "epinions", "dblp"], scale=SCALE, num_sources=15
+        )
+        assert rho > 0  # better expansion <-> faster mixing
+
+
+class TestBetweennessDistributions:
+    def test_summary_fields(self):
+        from repro.analysis import betweenness_distributions
+
+        stats = betweenness_distributions([FAST, SLOW], num_sources=15, scale=SCALE)
+        for name, s in stats.items():
+            assert set(s) == {"mean", "median", "p99", "max", "gini"}
+            assert 0 <= s["gini"] <= 1
+            assert s["median"] <= s["mean"] <= s["max"] + 1e-12
+
+    def test_brokerage_concentrated(self):
+        from repro.analysis import betweenness_distributions
+
+        stats = betweenness_distributions([FAST], num_sources=15, scale=SCALE)
+        assert stats[FAST]["gini"] > 0.5
+
+
+class TestMixingHeterogeneity:
+    def test_summary_fields_and_ordering(self):
+        from repro.analysis import mixing_heterogeneity
+
+        stats = mixing_heterogeneity([FAST, SLOW], num_sources=15, scale=SCALE)
+        for name, s in stats.items():
+            assert s["min"] <= s["median"] <= s["p90"] <= s["max"]
+            assert s["spread"] == pytest.approx(s["max"] - s["min"])
+
+    def test_slow_graph_has_wider_spread(self):
+        from repro.analysis import mixing_heterogeneity
+
+        stats = mixing_heterogeneity([FAST, SLOW], num_sources=20, scale=SCALE)
+        assert stats[SLOW]["spread"] > stats[FAST]["spread"]

@@ -1,0 +1,141 @@
+"""Unit tests for result serialization and ASCII charts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_chart, load_results, save_results
+from repro.cores import core_structure
+from repro.errors import ReproError
+from repro.expansion import aggregate_by_set_size, envelope_expansion
+from repro.mixing import sampled_mixing_profile
+from repro.sybil.harness import DefenseOutcome
+
+
+class TestPersistence:
+    def test_ndarray_round_trip(self, tmp_path):
+        path = tmp_path / "a.json"
+        arr = np.array([1.5, 2.5, 3.5])
+        save_results({"values": arr}, path)
+        loaded = load_results(path)
+        assert np.array_equal(loaded["values"], arr)
+        assert loaded["values"].dtype == arr.dtype
+
+    def test_mixing_profile_round_trip(self, tmp_path, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[1, 4], num_sources=5, seed=0
+        )
+        path = tmp_path / "p.json"
+        save_results(profile, path)
+        loaded = load_results(path)
+        assert np.allclose(loaded.tvd, profile.tvd)
+        assert np.array_equal(loaded.walk_lengths, profile.walk_lengths)
+        assert loaded.lazy == profile.lazy
+
+    def test_core_structure_round_trip(self, tmp_path, ba_small):
+        structure = core_structure(ba_small)
+        path = tmp_path / "c.json"
+        save_results(structure, path)
+        loaded = load_results(path)
+        assert np.array_equal(loaded.num_cores, structure.num_cores)
+        assert np.allclose(loaded.node_fraction, structure.node_fraction)
+
+    def test_expansion_summary_round_trip(self, tmp_path, ba_small):
+        summary = aggregate_by_set_size(
+            envelope_expansion(ba_small, num_sources=5, seed=0)
+        )
+        path = tmp_path / "e.json"
+        save_results(summary, path)
+        loaded = load_results(path)
+        assert np.allclose(loaded.mean, summary.mean)
+
+    def test_defense_outcome_round_trip(self, tmp_path):
+        outcome = DefenseOutcome(
+            dataset="x",
+            defense="gatekeeper",
+            parameter=0.2,
+            honest_acceptance=0.95,
+            sybils_per_attack_edge=1.5,
+            num_controllers=3,
+        )
+        path = tmp_path / "d.json"
+        save_results([outcome, outcome], path)
+        loaded = load_results(path)
+        assert loaded[0] == outcome
+        assert len(loaded) == 2
+
+    def test_nested_structures(self, tmp_path):
+        payload = {"a": [1, 2.5, "s", None, True], "b": {"c": np.arange(3)}}
+        path = tmp_path / "n.json"
+        save_results(payload, path)
+        loaded = load_results(path)
+        assert loaded["a"] == [1, 2.5, "s", None, True]
+        assert np.array_equal(loaded["b"]["c"], np.arange(3))
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_results({"f": lambda: None}, tmp_path / "bad.json")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_results(tmp_path / "absent.json")
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"up": ([0, 1, 2], [0, 1, 2]), "down": ([0, 1, 2], [2, 1, 0])},
+            title="T",
+        )
+        assert "T" in chart
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "o" in chart.splitlines()[1] or "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = ascii_chart({"s": ([1, 10], [0.5, 5.0])})
+        assert "0.5" in chart
+        assert "5" in chart
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"flat": ([0, 1], [1.0, 1.0])})
+        assert "flat" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"s": ([0], [0])}, width=2, height=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": ([0, 1], [0, 1]) for i in range(12)}
+        with pytest.raises(ReproError):
+            ascii_chart(series)
+
+
+class TestMeasurementReport:
+    def test_fast_graph_verdict(self, ba_small):
+        from repro.analysis import measurement_report
+
+        report = measurement_report(ba_small, name="ba", num_sources=15)
+        assert "# Measurement report — ba" in report
+        assert "**PASS**" in report
+        assert "as published" in report
+
+    def test_slow_graph_verdict(self, community_small):
+        from repro.analysis import measurement_report
+
+        report = measurement_report(community_small, name="slow", num_sources=15)
+        assert "**FAIL**" in report
+        assert "Slow mixing" in report
+
+    def test_tiny_graph_rejected(self):
+        from repro.analysis import measurement_report
+        from repro.errors import GraphError
+        from repro.graph import Graph
+
+        with pytest.raises(GraphError):
+            measurement_report(Graph.from_edges([(0, 1)]))

@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.generators import barabasi_albert
+from repro.graph import write_edge_list
+
+
+class TestDatasets:
+    def test_lists_all_analogs(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "wiki_vote" in out
+        assert "livejournal_b" in out
+        assert "regime" in out
+
+
+class TestAudit:
+    def test_bundled_dataset(self, capsys):
+        assert main(["audit", "wiki_vote", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "SLEM" in out
+        assert "verdict" in out
+
+    def test_edge_list_file(self, tmp_path, capsys):
+        graph = barabasi_albert(120, 3, seed=0)
+        path = tmp_path / "edges.txt"
+        write_edge_list(graph, path)
+        assert main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "120 nodes" in out
+
+    def test_missing_target(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "/nonexistent/file.txt"])
+
+
+class TestReproduce:
+    @pytest.mark.parametrize("experiment", ["table1", "fig2", "fig5"])
+    def test_fast_experiments(self, experiment, capsys):
+        assert main(["reproduce", experiment, "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) > 3
+
+    def test_fig4(self, capsys):
+        assert main(["reproduce", "fig4", "--scale", "0.05"]) == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig9"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "wiki_vote", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "# Measurement report" in out
+        assert "Mixing time" in out
+        assert "Defense readiness" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(
+            ["report", "wiki_vote", "--scale", "0.05", "--output", str(target)]
+        ) == 0
+        assert "# Measurement report" in target.read_text()

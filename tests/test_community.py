@@ -1,0 +1,126 @@
+"""Unit tests for community detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.community import (
+    greedy_modularity,
+    label_propagation,
+    modularity,
+    normalized_mutual_information,
+    partition_map,
+)
+from repro.errors import GraphError
+from repro.generators import barbell_graph, complete_graph, planted_partition
+from repro.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def planted():
+    """Four well-separated 30-node communities with ground truth."""
+    graph = planted_partition(4, 30, 0.4, 0.005, seed=0)
+    truth = np.repeat(np.arange(4), 30)
+    return graph, truth
+
+
+class TestLabelPropagation:
+    def test_barbell_two_communities(self):
+        g = barbell_graph(8, 0)
+        labels = label_propagation(g, seed=1)
+        assert np.unique(labels[:8]).size == 1
+        assert np.unique(labels[8:]).size == 1
+        assert labels[0] != labels[8]
+
+    def test_planted_partition_recovered(self, planted):
+        graph, truth = planted
+        labels = label_propagation(graph, seed=2)
+        assert normalized_mutual_information(labels, truth) > 0.8
+
+    def test_labels_contiguous(self, planted):
+        graph, _ = planted
+        labels = label_propagation(graph, seed=3)
+        assert labels.min() == 0
+        assert np.array_equal(np.unique(labels), np.arange(labels.max() + 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            label_propagation(Graph.empty())
+
+
+class TestModularity:
+    def test_single_community_clique(self):
+        g = complete_graph(6)
+        assert modularity(g, np.zeros(6, dtype=np.int64)) == pytest.approx(0.0)
+
+    def test_good_partition_positive(self):
+        g = barbell_graph(8, 0)
+        labels = np.array([0] * 8 + [1] * 8)
+        assert modularity(g, labels) > 0.4
+
+    def test_bad_partition_worse(self):
+        g = barbell_graph(8, 0)
+        good = np.array([0] * 8 + [1] * 8)
+        rng = np.random.default_rng(4)
+        bad = rng.integers(0, 2, size=16)
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_wrong_length_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            modularity(triangle, np.zeros(5, dtype=np.int64))
+
+
+class TestGreedyModularity:
+    def test_recovers_planted_partition(self, planted):
+        graph, truth = planted
+        labels = greedy_modularity(graph, seed=5)
+        assert normalized_mutual_information(labels, truth) > 0.8
+
+    def test_beats_random_partition(self, planted):
+        graph, _ = planted
+        labels = greedy_modularity(graph, seed=6)
+        rng = np.random.default_rng(6)
+        random_labels = rng.integers(0, 4, size=graph.num_nodes)
+        assert modularity(graph, labels) > modularity(graph, random_labels)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            greedy_modularity(Graph.empty())
+
+
+class TestPartitionUtilities:
+    def test_partition_map(self):
+        labels = np.array([0, 1, 0, 2])
+        groups = partition_map(labels)
+        assert np.array_equal(groups[0], [0, 2])
+        assert np.array_equal(groups[1], [1])
+        assert np.array_equal(groups[2], [3])
+
+    def test_nmi_identical(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_nmi_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_nmi_independent_low(self):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 5, 500)
+        b = rng.integers(0, 5, 500)
+        assert normalized_mutual_information(a, b) < 0.1
+
+    def test_nmi_length_mismatch(self):
+        with pytest.raises(GraphError):
+            normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+
+class TestPaperConnection:
+    """The paper's thesis: slow mixing <=> strong community structure."""
+
+    def test_slow_analog_has_higher_modularity(self, tiny_wiki, tiny_physics):
+        fast_q = modularity(tiny_wiki, greedy_modularity(tiny_wiki, seed=8))
+        slow_q = modularity(tiny_physics, greedy_modularity(tiny_physics, seed=8))
+        assert slow_q > fast_q

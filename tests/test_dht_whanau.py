@@ -1,0 +1,122 @@
+"""Unit tests for the Whānau Sybil-proof DHT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dht import LookupResult, Whanau, WhanauConfig
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.sybil import standard_attack
+
+
+def _keys_for(graph, honest_mask, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        v: [int(rng.integers(1 << 32))]
+        for v in range(graph.num_nodes)
+        if honest_mask is None or honest_mask[v]
+    }
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    graph = barabasi_albert(250, 4, seed=0)
+    keys = _keys_for(graph, None)
+    return graph, keys, Whanau(graph, keys, config=WhanauConfig(seed=1))
+
+
+class TestConfig:
+    def test_invalid_params(self):
+        with pytest.raises(SybilDefenseError):
+            WhanauConfig(num_layers=0)
+        with pytest.raises(SybilDefenseError):
+            WhanauConfig(num_fingers=0)
+        with pytest.raises(SybilDefenseError):
+            WhanauConfig(lookup_retries=0)
+
+    def test_needs_keys(self):
+        graph = barabasi_albert(30, 2, seed=1)
+        with pytest.raises(SybilDefenseError):
+            Whanau(graph, {})
+
+    def test_mask_shape_checked(self):
+        graph = barabasi_albert(30, 2, seed=2)
+        with pytest.raises(SybilDefenseError):
+            Whanau(graph, {0: [1]}, honest=np.ones(5, dtype=bool))
+
+
+class TestTables:
+    def test_every_node_has_layers(self, overlay):
+        graph, _, dht = overlay
+        for v in range(0, graph.num_nodes, 37):
+            t = dht.tables(v)
+            assert len(t.ids) == dht._config.num_layers
+            assert len(t.fingers) == dht._config.num_layers
+
+    def test_ids_are_stored_keys(self, overlay):
+        graph, keys, dht = overlay
+        all_keys = {k for ks in keys.values() for k in ks}
+        for v in range(0, graph.num_nodes, 41):
+            assert dht.tables(v).ids[0] in all_keys
+
+    def test_successor_records_are_true_ownership(self, overlay):
+        graph, keys, dht = overlay
+        for v in range(0, graph.num_nodes, 53):
+            for key, owner in dht.tables(v).successors:
+                assert key in keys[owner]
+
+
+class TestLookup:
+    def test_unknown_key_rejected(self, overlay):
+        _, _, dht = overlay
+        with pytest.raises(SybilDefenseError):
+            dht.lookup(0, 123456789)
+
+    def test_lookup_returns_true_owner(self, overlay):
+        graph, keys, dht = overlay
+        rng = np.random.default_rng(3)
+        hits = 0
+        for _ in range(40):
+            owner = int(rng.integers(graph.num_nodes))
+            key = keys[owner][0]
+            result = dht.lookup(int(rng.integers(graph.num_nodes)), key)
+            assert isinstance(result, LookupResult)
+            if result.success:
+                assert result.found_owner == owner
+                hits += 1
+        assert hits >= 34  # ~high success on a fast mixer
+
+    def test_success_rate_high_without_attack(self, overlay):
+        _, _, dht = overlay
+        assert dht.lookup_success_rate(num_lookups=80, seed=4) > 0.85
+
+    def test_zero_lookups_rejected(self, overlay):
+        _, _, dht = overlay
+        with pytest.raises(SybilDefenseError):
+            dht.lookup_success_rate(num_lookups=0)
+
+
+class TestSybilResistance:
+    def test_attack_barely_degrades_fast_mixer(self):
+        """Whanau's claim: Sybil identities beyond the attack-edge cut
+        do not matter; success stays high under a large Sybil region."""
+        honest = barabasi_albert(250, 4, seed=5)
+        attack = standard_attack(honest, 12, sybil_scale=0.5, seed=5)
+        mask = np.zeros(attack.graph.num_nodes, dtype=bool)
+        mask[: attack.num_honest] = True
+        keys = _keys_for(attack.graph, mask, seed=5)
+        dht = Whanau(attack.graph, keys, honest=mask, config=WhanauConfig(seed=6))
+        assert dht.lookup_success_rate(num_lookups=80, seed=7) > 0.8
+
+    def test_sybil_nodes_answer_nothing(self):
+        honest = barabasi_albert(120, 3, seed=8)
+        attack = standard_attack(honest, 5, seed=8)
+        mask = np.zeros(attack.graph.num_nodes, dtype=bool)
+        mask[: attack.num_honest] = True
+        keys = _keys_for(attack.graph, mask, seed=8)
+        dht = Whanau(attack.graph, keys, honest=mask, config=WhanauConfig(seed=9))
+        sybil = int(attack.sybil_nodes[0])
+        some_key = next(iter(keys.values()))[0]
+        assert dht._query_successors(sybil, some_key) is None

@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+The two fastest examples run end to end as subprocesses; the rest are
+import-checked (their full runs are exercised manually / in CI at a
+longer budget — `python examples/<name>.py`).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+class TestInventory:
+    def test_at_least_seven_examples(self):
+        assert len(ALL_EXAMPLES) >= 7
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_compiles_and_has_main(self, name):
+        path = EXAMPLES / name
+        spec = importlib.util.spec_from_file_location(name[:-3], path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # imports run; main() does not
+        assert hasattr(module, "main")
+
+
+class TestEndToEnd:
+    def _run(self, name: str, timeout: int = 240) -> str:
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        return result.stdout
+
+    def test_quickstart(self):
+        out = self._run("quickstart.py")
+        assert "wiki_vote" in out
+        assert "physics1" in out
+        assert "SLEM" in out
+
+    def test_custom_graph_audit(self):
+        out = self._run("custom_graph_audit.py")
+        assert "recommendation" in out
+        assert "mixing" in out

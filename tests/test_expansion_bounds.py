@@ -1,0 +1,125 @@
+"""Unit tests for general expansion bounds, conductance and sweep cuts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.expansion import (
+    cheeger_bounds,
+    conductance,
+    fiedler_vector,
+    neighborhood_size,
+    random_connected_set,
+    set_expansion,
+    sweep_cut_expansion,
+    vertex_expansion_upper_bound,
+)
+from repro.generators import barbell_graph, complete_graph, cycle_graph
+from repro.graph import Graph
+from repro.mixing import slem
+
+
+class TestNeighborhood:
+    def test_single_node(self, c7):
+        assert neighborhood_size(c7, np.array([0])) == 2
+
+    def test_whole_graph_has_no_neighbors(self, c7):
+        assert neighborhood_size(c7, np.arange(7)) == 0
+
+    def test_set_expansion_value(self):
+        g = complete_graph(6)
+        assert set_expansion(g, [0, 1]) == pytest.approx(2.0)
+
+    def test_empty_set_rejected(self, c7):
+        with pytest.raises(GraphError):
+            set_expansion(c7, [])
+
+
+class TestConductance:
+    def test_half_cycle(self):
+        g = cycle_graph(8)
+        phi = conductance(g, [0, 1, 2, 3])
+        assert phi == pytest.approx(2 / 8)
+
+    def test_barbell_clique_cut_is_sparse(self):
+        g = barbell_graph(6, 0)
+        phi = conductance(g, list(range(6)))
+        assert phi < 0.05
+
+    def test_full_or_empty_rejected(self, c7):
+        with pytest.raises(GraphError):
+            conductance(c7, [])
+        with pytest.raises(GraphError):
+            conductance(c7, list(range(7)))
+
+
+class TestRandomConnectedSet:
+    def test_size_and_connectivity(self, ba_small, rng):
+        nodes = random_connected_set(ba_small, 12, rng)
+        assert nodes.size == 12
+        from repro.graph import induced_subgraph, is_connected
+
+        sub, _ = induced_subgraph(ba_small, nodes)
+        assert is_connected(sub)
+
+    def test_size_one(self, ba_small, rng):
+        assert random_connected_set(ba_small, 1, rng).size == 1
+
+    def test_invalid_size(self, c7, rng):
+        with pytest.raises(GraphError):
+            random_connected_set(c7, 0, rng)
+
+
+class TestVertexExpansionBound:
+    def test_cycle_bound_tight(self):
+        """The cycle's true vertex expansion at n/2 is 2/(n/2)."""
+        g = cycle_graph(16)
+        bound = vertex_expansion_upper_bound(g, num_samples=300, seed=0)
+        assert bound <= 2 / 7  # a set of 7+ contiguous nodes has 2 neighbors
+
+    def test_complete_graph_expansion(self):
+        g = complete_graph(10)
+        bound = vertex_expansion_upper_bound(g, num_samples=100, seed=1)
+        # the worst set is half the clique: |N(S)|/|S| = 5/5 = 1
+        assert bound == pytest.approx(1.0)
+
+    def test_barbell_bottleneck_found(self):
+        g = barbell_graph(8, 2)
+        bound = vertex_expansion_upper_bound(g, num_samples=400, seed=2)
+        assert bound < 0.3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            vertex_expansion_upper_bound(Graph.empty(1))
+
+
+class TestSpectralCut:
+    def test_fiedler_splits_barbell(self):
+        g = barbell_graph(6, 2)
+        vector = fiedler_vector(g)
+        left = set(np.flatnonzero(vector > 0).tolist())
+        # one clique should be (mostly) on each side
+        clique_a = set(range(6))
+        clique_b = set(range(8, 14))
+        a_side = len(left & clique_a)
+        b_side = len(left & clique_b)
+        assert (a_side >= 5 and b_side <= 1) or (a_side <= 1 and b_side >= 5)
+
+    def test_sweep_cut_finds_bottleneck(self):
+        g = barbell_graph(6, 0)
+        cut, phi = sweep_cut_expansion(g)
+        assert phi == conductance(g, cut)
+        assert phi < 0.05
+
+    def test_sweep_cut_satisfies_cheeger(self, ba_small):
+        mu = slem(ba_small)
+        lower, upper = cheeger_bounds(mu)
+        _, phi = sweep_cut_expansion(ba_small)
+        assert phi >= lower - 1e-9
+        assert phi <= upper + 1e-9
+
+    def test_cheeger_invalid_mu(self):
+        with pytest.raises(GraphError):
+            cheeger_bounds(1.5)

@@ -1,0 +1,140 @@
+"""Unit tests for the envelope-expansion measurement (Figures 3-4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.expansion import (
+    aggregate_by_set_size,
+    envelope_expansion,
+    expansion_factor_series,
+    source_expansion,
+)
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph import Graph
+
+
+class TestSourceExpansion:
+    def test_star_from_hub(self):
+        result = source_expansion(star_graph(6), 0)
+        assert np.array_equal(result.level_sizes, [1, 6])
+        assert np.array_equal(result.envelope_sizes, [1])
+        assert np.array_equal(result.frontier_sizes, [6])
+        assert np.array_equal(result.expansion_factors, [6.0])
+
+    def test_star_from_leaf(self):
+        result = source_expansion(star_graph(6), 1)
+        assert np.array_equal(result.level_sizes, [1, 1, 5])
+        assert np.allclose(result.expansion_factors, [1.0, 5 / 2])
+
+    def test_cycle_levels(self):
+        result = source_expansion(cycle_graph(8), 0)
+        assert np.array_equal(result.level_sizes, [1, 2, 2, 2, 1])
+
+    def test_path_expansion_shrinks(self):
+        result = source_expansion(path_graph(10), 0)
+        # alpha_i = 1 / (i+1): monotonically decreasing
+        assert np.all(np.diff(result.expansion_factors) < 0)
+
+    def test_complete_graph_single_level(self):
+        result = source_expansion(complete_graph(5), 2)
+        assert np.array_equal(result.level_sizes, [1, 4])
+
+
+class TestEnvelopeExpansion:
+    def test_all_sources_by_default(self, c7):
+        meas = envelope_expansion(c7)
+        assert meas.sources.size == 7
+
+    def test_sampled_sources(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=10, seed=1)
+        assert meas.sources.size == 10
+        assert np.unique(meas.sources).size == 10
+
+    def test_explicit_sources(self, c7):
+        meas = envelope_expansion(c7, sources=[0, 3])
+        assert np.array_equal(meas.sources, [0, 3])
+
+    def test_measurement_pairs_align(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=5, seed=2)
+        assert meas.set_sizes.shape == meas.neighbor_counts.shape
+        assert np.all(meas.set_sizes >= 1)
+        assert np.all(meas.neighbor_counts >= 1)
+
+    def test_max_radius_truncates(self, ba_small):
+        full = envelope_expansion(ba_small, sources=[0])
+        capped = envelope_expansion(ba_small, sources=[0], max_radius=1)
+        assert capped.set_sizes.size <= min(full.set_sizes.size, 1)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            envelope_expansion(Graph.empty())
+
+    def test_empty_sources_rejected(self, c7):
+        with pytest.raises(GraphError):
+            envelope_expansion(c7, sources=[])
+
+    def test_set_sizes_bounded_by_n(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=5, seed=3)
+        assert meas.set_sizes.max() < ba_small.num_nodes
+
+
+class TestAggregation:
+    def test_cycle_aggregation(self):
+        meas = envelope_expansion(cycle_graph(8))
+        summary = aggregate_by_set_size(meas)
+        # every source sees the same profile by symmetry
+        assert np.array_equal(summary.set_sizes, [1, 3, 5, 7])
+        assert np.allclose(summary.minimum, summary.maximum)
+        assert np.array_equal(summary.mean, [2, 2, 2, 1])
+
+    def test_min_le_mean_le_max(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=20, seed=4)
+        summary = aggregate_by_set_size(meas)
+        assert np.all(summary.minimum <= summary.mean + 1e-12)
+        assert np.all(summary.mean <= summary.maximum + 1e-12)
+
+    def test_counts_sum_to_measurements(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=20, seed=5)
+        summary = aggregate_by_set_size(meas)
+        assert summary.count.sum() == meas.set_sizes.size
+
+    def test_empty_measurement_rejected(self):
+        from repro.expansion import ExpansionMeasurement
+
+        empty = ExpansionMeasurement(
+            sources=np.array([0]),
+            set_sizes=np.empty(0, np.int64),
+            neighbor_counts=np.empty(0, np.int64),
+        )
+        with pytest.raises(GraphError):
+            aggregate_by_set_size(empty)
+
+
+class TestFactorSeries:
+    def test_cycle_series(self):
+        meas = envelope_expansion(cycle_graph(8))
+        sizes, alphas = expansion_factor_series(meas)
+        assert np.allclose(alphas, [2 / 1, 2 / 3, 2 / 5, 1 / 7])
+
+    def test_factor_decays_with_size(self, ba_small):
+        meas = envelope_expansion(ba_small, num_sources=30, seed=6)
+        sizes, alphas = expansion_factor_series(meas)
+        # expansion factor at tiny sets dwarfs the factor at huge sets
+        assert alphas[0] > alphas[-1]
+
+    def test_paper_claim_fast_expands_better(self, tiny_wiki, tiny_physics):
+        """Figure 4: at comparable relative set sizes the fast analog
+        expands more."""
+        fast = envelope_expansion(tiny_wiki, num_sources=40, seed=7)
+        slow = envelope_expansion(tiny_physics, num_sources=40, seed=7)
+        half_fast = tiny_wiki.num_nodes // 4
+        half_slow = tiny_physics.num_nodes // 4
+        f_mask = fast.set_sizes <= half_fast
+        s_mask = slow.set_sizes <= half_slow
+        assert (
+            fast.expansion_factors[f_mask].mean()
+            > slow.expansion_factors[s_mask].mean()
+        )

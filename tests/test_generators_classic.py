@@ -1,0 +1,155 @@
+"""Unit tests for classic random graph models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    barabasi_albert,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    holme_kim,
+    powerlaw_cluster_mixed,
+    watts_strogatz,
+)
+from repro.graph import average_clustering, is_connected
+
+
+class TestErdosRenyiGnp:
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi_gnp(400, 0.05, seed=1)
+        expected = 0.05 * 400 * 399 / 2
+        assert abs(g.num_edges - expected) < 0.2 * expected
+
+    def test_p_zero(self):
+        assert erdos_renyi_gnp(50, 0.0, seed=1).num_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_gnp(10, 1.0, seed=1)
+        assert g.num_edges == 45
+
+    def test_deterministic_given_seed(self):
+        assert erdos_renyi_gnp(100, 0.1, seed=9) == erdos_renyi_gnp(100, 0.1, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi_gnp(100, 0.1, seed=1) != erdos_renyi_gnp(100, 0.1, seed=2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnp(10, 1.5)
+
+
+class TestErdosRenyiGnm:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_gnm(50, 100, seed=0)
+        assert g.num_edges == 100
+
+    def test_zero_edges(self):
+        assert erdos_renyi_gnm(10, 0).num_edges == 0
+
+    def test_max_edges(self):
+        g = erdos_renyi_gnm(6, 15, seed=0)
+        assert g.num_edges == 15
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GeneratorError):
+            erdos_renyi_gnm(4, 7)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.num_edges == 40
+        assert np.all(g.degrees == 4)
+
+    def test_rewiring_keeps_edge_count(self):
+        g = watts_strogatz(50, 4, 0.3, seed=1)
+        assert g.num_edges == 100
+
+    def test_full_rewiring_randomizes(self):
+        g = watts_strogatz(60, 4, 1.0, seed=2)
+        assert g.num_edges == 120
+        # no longer a regular lattice
+        assert g.degrees.std() > 0
+
+    def test_odd_neighbors_rejected(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz(20, 3, 0.1)
+
+    def test_neighbors_exceeding_nodes_rejected(self):
+        with pytest.raises(GeneratorError):
+            watts_strogatz(4, 4, 0.1)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 300, 3
+        g = barabasi_albert(n, m, seed=0)
+        seed_edges = m * (m + 1) // 2
+        assert g.num_edges == seed_edges + (n - m - 1) * m
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(200, 2, seed=1))
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(1000, 3, seed=2)
+        assert g.degrees.max() > 5 * g.degrees.mean()
+
+    def test_min_degree_is_attachment(self):
+        g = barabasi_albert(200, 4, seed=3)
+        assert g.degrees.min() == 4
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            barabasi_albert(5, 5)
+        with pytest.raises(GeneratorError):
+            barabasi_albert(10, 0)
+
+
+class TestHolmeKim:
+    def test_clustering_exceeds_ba(self):
+        ba = barabasi_albert(500, 3, seed=4)
+        hk = holme_kim(500, 3, 0.9, seed=4)
+        assert average_clustering(hk) > average_clustering(ba)
+
+    def test_zero_triads_edge_count_matches_ba(self):
+        g = holme_kim(200, 3, 0.0, seed=5)
+        assert g.num_edges == 3 * (3 + 1) // 2 + (200 - 4) * 3
+
+    def test_connected(self):
+        assert is_connected(holme_kim(300, 2, 0.5, seed=6))
+
+    def test_invalid_probability(self):
+        with pytest.raises(GeneratorError):
+            holme_kim(100, 2, 1.5)
+
+
+class TestPowerlawClusterMixed:
+    def test_degree_spread(self):
+        g = powerlaw_cluster_mixed(800, 1, 12, seed=7)
+        # variable attachment should produce degree-1 periphery and hubs
+        assert g.degrees.min() <= 2
+        assert g.degrees.max() > 20
+
+    def test_connected(self):
+        assert is_connected(powerlaw_cluster_mixed(400, 1, 9, seed=8))
+
+    def test_triads_raise_clustering(self):
+        low = powerlaw_cluster_mixed(500, 1, 9, triad_probability=0.0, seed=9)
+        high = powerlaw_cluster_mixed(500, 1, 9, triad_probability=0.9, seed=9)
+        assert average_clustering(high) > average_clustering(low)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_mixed(200, 1, 6, seed=10)
+        b = powerlaw_cluster_mixed(200, 1, 6, seed=10)
+        assert a == b
+
+    def test_invalid_ranges(self):
+        with pytest.raises(GeneratorError):
+            powerlaw_cluster_mixed(100, 0, 5)
+        with pytest.raises(GeneratorError):
+            powerlaw_cluster_mixed(100, 5, 3)
+        with pytest.raises(GeneratorError):
+            powerlaw_cluster_mixed(5, 1, 8)

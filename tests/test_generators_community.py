@@ -1,0 +1,112 @@
+"""Unit tests for community-structured generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    community_social_graph,
+    hierarchical_communities,
+    planted_partition,
+    stochastic_block_model,
+)
+from repro.graph import is_connected, num_connected_components
+from repro.mixing import slem
+
+
+class TestStochasticBlockModel:
+    def test_block_sizes(self):
+        g = stochastic_block_model([10, 20], np.array([[0.5, 0.0], [0.0, 0.5]]), seed=0)
+        assert g.num_nodes == 30
+
+    def test_zero_cross_rate_disconnects_blocks(self):
+        g = stochastic_block_model(
+            [15, 15], np.array([[0.9, 0.0], [0.0, 0.9]]), seed=1
+        )
+        assert num_connected_components(g) >= 2
+
+    def test_full_rates_complete(self):
+        g = stochastic_block_model([4, 4], np.ones((2, 2)), seed=2)
+        assert g.num_edges == 8 * 7 / 2
+
+    def test_asymmetric_matrix_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model([5, 5], np.array([[0.5, 0.1], [0.2, 0.5]]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model([5, 5], np.array([[0.5]]))
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(GeneratorError):
+            stochastic_block_model([5], np.array([[1.5]]))
+
+
+class TestPlantedPartition:
+    def test_internal_denser_than_external(self):
+        g = planted_partition(4, 25, 0.3, 0.01, seed=3)
+        labels = np.repeat(np.arange(4), 25)
+        internal = external = 0
+        for u, v in g.edge_array():
+            if labels[u] == labels[v]:
+                internal += 1
+            else:
+                external += 1
+        assert internal > 3 * external
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            planted_partition(0, 10, 0.5, 0.1)
+
+
+class TestCommunitySocialGraph:
+    def test_connected_even_with_tiny_bridge_fraction(self):
+        g = community_social_graph(600, 6, 3, 0.005, seed=4)
+        assert is_connected(g)
+
+    def test_node_count(self):
+        g = community_social_graph(500, 7, 2, 0.05, seed=5)
+        assert g.num_nodes == 500
+
+    def test_bridge_fraction_controls_mixing(self):
+        slow = community_social_graph(800, 8, 3, 0.005, seed=6)
+        fast = community_social_graph(800, 2, 3, 0.3, seed=6)
+        assert slem(slow) > slem(fast)
+
+    def test_low_degree_periphery_exists(self):
+        g = community_social_graph(600, 6, 3, 0.01, seed=7)
+        assert np.count_nonzero(g.degrees <= 2) > 0.1 * g.num_nodes
+
+    def test_too_small_communities_rejected(self):
+        with pytest.raises(GeneratorError):
+            community_social_graph(30, 10, 3, 0.1)  # 3 nodes per community
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GeneratorError):
+            community_social_graph(500, 5, 2, 1.5)
+
+
+class TestHierarchicalCommunities:
+    def test_size(self):
+        g = hierarchical_communities(8, 2, 3, 0.8, seed=8)
+        assert g.num_nodes == 8 * 2**3
+
+    def test_connected(self):
+        g = hierarchical_communities(10, 2, 2, 0.9, level_decay=0.3, seed=9)
+        assert is_connected(g)
+
+    def test_leaf_density_exceeds_cross_density(self):
+        g = hierarchical_communities(12, 2, 2, 0.9, level_decay=0.05, seed=10)
+        leaf = np.arange(12)
+        internal = sum(
+            1 for u, v in g.edge_array() if u // 12 == v // 12
+        )
+        assert internal > g.num_edges * 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            hierarchical_communities(1, 2, 2, 0.5)
+        with pytest.raises(GeneratorError):
+            hierarchical_communities(5, 2, 2, 0.5, level_decay=1.5)

@@ -1,0 +1,78 @@
+"""Unit tests for the configuration model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    configuration_model,
+    powerlaw_configuration_graph,
+    powerlaw_degree_sequence,
+)
+
+
+class TestDegreeSequence:
+    def test_sum_is_even(self):
+        for seed in range(5):
+            degrees = powerlaw_degree_sequence(201, 2.5, seed=seed)
+            assert degrees.sum() % 2 == 0
+
+    def test_respects_bounds(self):
+        degrees = powerlaw_degree_sequence(500, 2.0, min_degree=2, max_degree=30, seed=1)
+        assert degrees.min() >= 2
+        assert degrees.max() <= 31  # +1 possible from parity fix
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        shallow = powerlaw_degree_sequence(2000, 1.5, max_degree=100, seed=2)
+        steep = powerlaw_degree_sequence(2000, 3.5, max_degree=100, seed=2)
+        assert shallow.mean() > steep.mean()
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GeneratorError):
+            powerlaw_degree_sequence(10, 0.9)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(GeneratorError):
+            powerlaw_degree_sequence(10, 2.0, min_degree=5, max_degree=3)
+
+
+class TestConfigurationModel:
+    def test_degrees_approximated(self):
+        degrees = np.array([3, 3, 2, 2, 2])
+        g = configuration_model(degrees, seed=3)
+        # erased model can only lose edges, never add
+        assert np.all(g.degrees <= degrees)
+        assert g.num_edges <= degrees.sum() // 2
+
+    def test_regular_sequence(self):
+        degrees = np.full(50, 4)
+        g = configuration_model(degrees, seed=4)
+        assert g.num_nodes == 50
+        assert g.degrees.mean() > 3.0  # few collisions at this density
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(GeneratorError):
+            configuration_model(np.array([1, 1, 1]))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(GeneratorError):
+            configuration_model(np.array([2, -1, 1]))
+
+    def test_deterministic(self):
+        degrees = powerlaw_degree_sequence(100, 2.2, seed=5)
+        assert configuration_model(degrees, seed=6) == configuration_model(
+            degrees, seed=6
+        )
+
+
+class TestPowerlawConfigurationGraph:
+    def test_builds(self):
+        g = powerlaw_configuration_graph(300, 2.3, seed=7)
+        assert g.num_nodes == 300
+        assert g.num_edges > 150
+
+    def test_degree_heterogeneity(self):
+        g = powerlaw_configuration_graph(1000, 2.0, min_degree=1, seed=8)
+        assert g.degrees.max() >= 5 * max(g.degrees.min(), 1)

@@ -1,0 +1,130 @@
+"""Unit tests for Forest Fire, Kronecker and interaction graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeneratorError
+from repro.generators import (
+    community_social_graph,
+    forest_fire,
+    interaction_graph,
+    stochastic_kronecker,
+    tie_strengths,
+)
+from repro.graph import (
+    Graph,
+    average_clustering,
+    is_connected,
+    largest_connected_component,
+)
+
+
+class TestForestFire:
+    def test_connected_by_construction(self):
+        g = forest_fire(300, 0.3, seed=0)
+        assert is_connected(g)
+        assert g.num_nodes == 300
+
+    def test_burn_probability_densifies(self):
+        sparse = forest_fire(400, 0.1, seed=1)
+        dense = forest_fire(400, 0.5, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_burning_creates_clustering(self):
+        g = forest_fire(400, 0.45, seed=2)
+        assert average_clustering(g) > 0.15
+
+    def test_deterministic(self):
+        assert forest_fire(150, 0.3, seed=3) == forest_fire(150, 0.3, seed=3)
+
+    def test_max_burn_caps_degree_growth(self):
+        capped = forest_fire(300, 0.6, seed=4, max_burn=2)
+        assert capped.num_edges <= 2 * 300
+
+    def test_invalid_params(self):
+        with pytest.raises(GeneratorError):
+            forest_fire(1, 0.3)
+        with pytest.raises(GeneratorError):
+            forest_fire(10, 1.0)
+
+
+class TestKronecker:
+    def test_node_count_is_power(self):
+        init = np.array([[0.9, 0.5], [0.5, 0.2]])
+        g = stochastic_kronecker(init, 7, seed=0)
+        assert g.num_nodes == 2**7
+
+    def test_edge_count_scales_with_initiator_mass(self):
+        light = stochastic_kronecker(np.array([[0.7, 0.3], [0.3, 0.1]]), 8, seed=1)
+        heavy = stochastic_kronecker(np.array([[0.95, 0.6], [0.6, 0.3]]), 8, seed=1)
+        assert heavy.num_edges > light.num_edges
+
+    def test_core_periphery_structure(self):
+        """The classic initiator yields a dense core around node 0."""
+        g = stochastic_kronecker(np.array([[0.9, 0.5], [0.5, 0.2]]), 8, seed=2)
+        low_ids = g.degrees[:16].mean()
+        high_ids = g.degrees[-16:].mean()
+        assert low_ids > high_ids
+
+    def test_invalid_initiator(self):
+        with pytest.raises(GeneratorError):
+            stochastic_kronecker(np.array([[0.5]]), 3)
+        with pytest.raises(GeneratorError):
+            stochastic_kronecker(np.array([[0.5, 1.5], [0.2, 0.1]]), 3)
+        with pytest.raises(GeneratorError):
+            stochastic_kronecker(np.array([[0.5, 0.2], [0.2, 0.1]]), 0)
+
+    def test_size_guard(self):
+        with pytest.raises(GeneratorError):
+            stochastic_kronecker(np.full((2, 2), 0.5), 25)
+
+
+class TestInteractionGraph:
+    @pytest.fixture(scope="class")
+    def friendship(self):
+        return community_social_graph(600, 6, 3, 0.05, seed=5)
+
+    def test_strengths_shape_and_range(self, friendship):
+        strengths = tie_strengths(friendship)
+        assert strengths.shape == (friendship.num_edges,)
+        assert np.all((0 <= strengths) & (strengths <= 1))
+
+    def test_triangle_edge_stronger_than_bridge(self):
+        # triangle 0-1-2 plus bridge 2-3
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        strengths = tie_strengths(g)
+        edges = [tuple(e) for e in g.edge_array().tolist()]
+        bridge = strengths[edges.index((2, 3))]
+        embedded = strengths[edges.index((0, 1))]
+        assert embedded > bridge
+
+    def test_subgraph_of_friendship(self, friendship):
+        inter = interaction_graph(friendship, activity=0.7, seed=6)
+        assert inter.num_nodes == friendship.num_nodes
+        assert inter.num_edges < friendship.num_edges
+        for u, v in inter.edges():
+            assert friendship.has_edge(u, v)
+
+    def test_activity_controls_density(self, friendship):
+        quiet = interaction_graph(friendship, activity=0.2, floor=0.0, seed=7)
+        busy = interaction_graph(friendship, activity=1.0, floor=0.0, seed=7)
+        assert busy.num_edges > quiet.num_edges
+
+    def test_wilson_finding_interaction_graph_mixes_slower(self, friendship):
+        """Ref [25]: interaction graphs are more community-confined."""
+        from repro.mixing import slem
+
+        inter = interaction_graph(friendship, activity=0.9, seed=8)
+        lcc, _ = largest_connected_component(inter)
+        if lcc.num_nodes > 50:  # enough structure to compare
+            assert slem(lcc) >= slem(friendship) - 0.02
+
+    def test_invalid_params(self, friendship):
+        with pytest.raises(GeneratorError):
+            interaction_graph(friendship, activity=0.0)
+        with pytest.raises(GeneratorError):
+            interaction_graph(friendship, floor=1.0)
+        with pytest.raises(GeneratorError):
+            tie_strengths(Graph.empty(3))

@@ -1,0 +1,71 @@
+"""Unit tests for GraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+
+
+class TestBuilder:
+    def test_empty_builder(self):
+        g = GraphBuilder().build()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_preallocated_nodes(self):
+        g = GraphBuilder(4).build()
+        assert g.num_nodes == 4
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder(-1)
+
+    def test_add_edge_grows_nodes(self):
+        b = GraphBuilder()
+        b.add_edge(0, 7)
+        assert b.num_nodes == 8
+        g = b.build()
+        assert g.num_nodes == 8
+        assert g.has_edge(0, 7)
+
+    def test_add_edge_rejects_negative(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.add_edge(-1, 0)
+
+    def test_add_node_returns_id(self):
+        b = GraphBuilder(2)
+        assert b.add_node() == 2
+        assert b.add_node() == 3
+
+    def test_add_nodes_range(self):
+        b = GraphBuilder(1)
+        ids = b.add_nodes(3)
+        assert list(ids) == [1, 2, 3]
+        assert b.num_nodes == 4
+
+    def test_add_nodes_rejects_negative(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_nodes(-2)
+
+    def test_duplicates_and_loops_removed_on_build(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 0), (0, 0), (0, 1)])
+        g = b.build()
+        assert g.num_edges == 1
+
+    def test_num_pending_edges(self):
+        b = GraphBuilder()
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.num_pending_edges == 2
+
+    def test_build_is_repeatable(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        first = b.build()
+        b.add_edge(1, 2)
+        second = b.build()
+        assert first.num_edges == 1
+        assert second.num_edges == 2

@@ -1,0 +1,65 @@
+"""Unit tests for edge-list I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, read_edge_list, write_edge_list
+from repro.graph.io import parse_edge_lines
+
+
+class TestParse:
+    def test_skips_comments_and_blanks(self):
+        lines = ["# header", "", "% other comment", "0 1", "1\t2"]
+        assert list(parse_edge_lines(iter(lines))) == [(0, 1), (1, 2)]
+
+    def test_rejects_single_column(self):
+        with pytest.raises(GraphError, match="line 1"):
+            list(parse_edge_lines(iter(["42"])))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphError, match="non-integer"):
+            list(parse_edge_lines(iter(["a b"])))
+
+    def test_extra_columns_ignored(self):
+        assert list(parse_edge_lines(iter(["0 1 0.5"]))) == [(0, 1)]
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, square_with_tail):
+        path = tmp_path / "graph.txt"
+        write_edge_list(square_with_tail, path, header="test graph")
+        loaded = read_edge_list(path, num_nodes=square_with_tail.num_nodes)
+        assert loaded == square_with_tail
+
+    def test_gzip_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(triangle, path)
+        assert read_edge_list(path) == triangle
+
+    def test_header_written_as_comments(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, path, header="line one\nline two")
+        text = path.read_text()
+        assert "# line one" in text
+        assert "# line two" in text
+        assert "# nodes: 3 edges: 3" in text
+
+    def test_directed_input_symmetrized(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# only comments\n")
+        g = read_edge_list(path)
+        assert g.num_nodes == 0
+
+    def test_isolated_nodes_preserved_via_num_nodes(self, tmp_path):
+        path = tmp_path / "i.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, num_nodes=5)
+        assert g.num_nodes == 5

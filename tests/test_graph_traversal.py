@@ -1,0 +1,120 @@
+"""Unit tests for BFS traversal and connectivity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_levels,
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_component_nodes,
+    num_connected_components,
+)
+from repro.generators import barabasi_albert, path_graph
+
+
+class TestBfsDistances:
+    def test_path_distances(self, p10):
+        dist = bfs_distances(p10, 0)
+        assert np.array_equal(dist, np.arange(10))
+
+    def test_path_from_middle(self, p10):
+        dist = bfs_distances(p10, 5)
+        assert dist[5] == 0
+        assert dist[0] == 5
+        assert dist[9] == 4
+
+    def test_star_distances(self, star10):
+        dist = bfs_distances(star10, 0)
+        assert dist[0] == 0
+        assert np.all(dist[1:] == 1)
+
+    def test_unreachable_marked_minus_one(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        dist = bfs_distances(g, 0)
+        assert dist[2] == -1
+
+    def test_bad_source(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(triangle, 9)
+
+    def test_large_frontier_path_matches_small(self):
+        """The vectorized gather (>64 frontier) agrees with slicing."""
+        g = barabasi_albert(500, 5, seed=3)
+        dist = bfs_distances(g, 0)
+        # brute-force check on a second implementation
+        import collections
+
+        expected = np.full(g.num_nodes, -1)
+        expected[0] = 0
+        queue = collections.deque([0])
+        while queue:
+            v = queue.popleft()
+            for u in g.neighbors(v):
+                if expected[u] == -1:
+                    expected[u] = expected[v] + 1
+                    queue.append(int(u))
+        assert np.array_equal(dist, expected)
+
+
+class TestBfsLevels:
+    def test_levels_partition_reachable_nodes(self, ba_small):
+        levels = bfs_levels(ba_small, 0)
+        seen = np.concatenate(levels)
+        assert np.array_equal(np.sort(seen), np.arange(ba_small.num_nodes))
+
+    def test_levels_match_distances(self, p10):
+        levels = bfs_levels(p10, 0)
+        dist = bfs_distances(p10, 0)
+        for i, level in enumerate(levels):
+            assert np.all(dist[level] == i)
+
+    def test_isolated_source(self):
+        g = Graph.empty(3)
+        levels = bfs_levels(g, 1)
+        assert len(levels) == 1
+        assert np.array_equal(levels[0], [1])
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, triangle):
+        labels = connected_components(triangle)
+        assert np.all(labels == 0)
+        assert num_connected_components(triangle) == 1
+        assert is_connected(triangle)
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert num_connected_components(g) == 2
+        assert not is_connected(g)
+
+    def test_isolated_nodes_count_as_components(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=4)
+        assert num_connected_components(g) == 3
+
+    def test_component_sizes_sorted(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_nodes=6)
+        assert np.array_equal(component_sizes(g), [3, 2, 1])
+
+    def test_empty_graph(self):
+        g = Graph.empty()
+        assert num_connected_components(g) == 0
+        assert not is_connected(g)
+        assert component_sizes(g).size == 0
+
+    def test_largest_component_nodes(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_nodes=5)
+        assert np.array_equal(largest_component_nodes(g), [0, 1, 2])
+
+    def test_path_is_connected(self):
+        assert is_connected(path_graph(50))

@@ -1,0 +1,116 @@
+"""Unit tests for hitting, commute and cover times."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+)
+from repro.graph import Graph
+from repro.markov import (
+    commute_time,
+    effective_resistance,
+    estimate_cover_time,
+    hitting_time,
+    hitting_times_to,
+)
+
+
+class TestHittingTime:
+    def test_complete_graph_closed_form(self):
+        # K_n: H(u, v) = n - 1 for u != v
+        for n in (4, 6, 9):
+            assert hitting_time(complete_graph(n), 0, 1) == pytest.approx(n - 1)
+
+    def test_path_endpoint_closed_form(self):
+        # P_n (0..n-1): H(0, n-1) = (n-1)^2
+        g = path_graph(6)
+        assert hitting_time(g, 0, 5) == pytest.approx(25.0)
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(8)
+        assert hitting_time(g, 0, 3) == pytest.approx(hitting_time(g, 3, 0))
+        assert hitting_time(g, 0, 3) == pytest.approx(hitting_time(g, 1, 4))
+
+    def test_self_hitting_zero(self):
+        g = cycle_graph(5)
+        assert hitting_times_to(g, 2)[2] == 0.0
+
+    def test_all_targets_consistent(self, ba_small):
+        times = hitting_times_to(ba_small, 0)
+        assert times[0] == 0.0
+        assert np.all(times[1:] > 0)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            hitting_times_to(g, 0)
+
+    def test_monte_carlo_agreement(self):
+        """Sampled first-hitting steps converge to the exact solve."""
+        from repro.markov import random_walk
+
+        g = cycle_graph(6)
+        exact = hitting_time(g, 0, 2)
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(3000):
+            walk = random_walk(g, 0, 200, rng=rng)
+            hits = np.flatnonzero(walk == 2)
+            samples.append(int(hits[0]))
+        assert np.mean(samples) == pytest.approx(exact, rel=0.1)
+
+
+class TestCommuteAndResistance:
+    def test_path_resistance_is_distance(self):
+        g = path_graph(7)
+        assert effective_resistance(g, 1, 5) == pytest.approx(4.0)
+
+    def test_parallel_edges_via_cycle(self):
+        # C_4 between opposite nodes: two 2-edge paths in parallel -> R = 1
+        g = cycle_graph(4)
+        assert effective_resistance(g, 0, 2) == pytest.approx(1.0)
+
+    def test_commute_equals_sum_of_hitting_times(self, ba_small):
+        u, v = 3, 17
+        expected = hitting_time(ba_small, u, v) + hitting_time(ba_small, v, u)
+        assert commute_time(ba_small, u, v) == pytest.approx(expected, rel=1e-6)
+
+    def test_self_resistance_zero(self, ba_small):
+        assert effective_resistance(ba_small, 4, 4) == 0.0
+
+    def test_triangle_inequality_of_resistance(self):
+        g = barabasi_albert(60, 2, seed=1)
+        r_ab = effective_resistance(g, 0, 10)
+        r_bc = effective_resistance(g, 10, 20)
+        r_ac = effective_resistance(g, 0, 20)
+        assert r_ac <= r_ab + r_bc + 1e-9
+
+
+class TestCoverTime:
+    def test_complete_graph_coupon_collector(self):
+        # cover time of K_n ~ (n-1) * H_{n-1}
+        n = 8
+        expected = (n - 1) * sum(1 / k for k in range(1, n))
+        measured = estimate_cover_time(complete_graph(n), num_walks=300, seed=0)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_cycle_slower_than_complete(self):
+        fast = estimate_cover_time(complete_graph(10), num_walks=50, seed=1)
+        slow = estimate_cover_time(cycle_graph(10), num_walks=50, seed=1)
+        assert slow > fast
+
+    def test_budget_failure_raises(self):
+        with pytest.raises(GraphError):
+            estimate_cover_time(cycle_graph(30), num_walks=3, max_steps=5)
+
+    def test_disconnected_rejected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            estimate_cover_time(g)

@@ -1,0 +1,116 @@
+"""Unit tests for the sampling-based mixing measurement (Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import barabasi_albert, community_social_graph, complete_graph
+from repro.graph import Graph
+from repro.mixing import (
+    is_fast_mixing,
+    mixing_time_from_profile,
+    sampled_mixing_profile,
+    sampled_mixing_time,
+    sinclair_bounds,
+    slem,
+)
+
+
+class TestProfile:
+    def test_shape(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[1, 2, 4], num_sources=10, seed=0
+        )
+        assert profile.tvd.shape == (10, 3)
+        assert profile.sources.size == 10
+        assert np.array_equal(profile.walk_lengths, [1, 2, 4])
+
+    def test_tvd_decreases_with_length(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[1, 4, 16, 64], num_sources=15, seed=1
+        )
+        mean = profile.mean
+        assert mean[0] > mean[-1]
+        assert mean[-1] < 0.01  # fast mixer reaches stationarity
+
+    def test_aggregates_ordered(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[2, 8], num_sources=20, seed=2
+        )
+        assert np.all(profile.min <= profile.mean + 1e-12)
+        assert np.all(profile.mean <= profile.max + 1e-12)
+
+    def test_percentile(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[2, 8], num_sources=20, seed=3
+        )
+        median = profile.percentile(50)
+        assert np.all(median <= profile.max + 1e-12)
+        assert np.all(profile.min <= median + 1e-12)
+
+    def test_explicit_sources(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[1, 2], sources=[0, 5, 9]
+        )
+        assert np.array_equal(profile.sources, [0, 5, 9])
+
+    def test_more_sources_than_nodes_clamped(self, k5):
+        profile = sampled_mixing_profile(k5, walk_lengths=[1], num_sources=100)
+        assert profile.sources.size == 5
+
+    def test_unsorted_lengths_rejected(self, k5):
+        with pytest.raises(GraphError):
+            sampled_mixing_profile(k5, walk_lengths=[4, 2])
+
+    def test_empty_sources_rejected(self, k5):
+        with pytest.raises(GraphError):
+            sampled_mixing_profile(k5, walk_lengths=[1], sources=[])
+
+    def test_slow_graph_has_higher_tvd(self, ba_small, community_small):
+        lengths = [5, 10, 20]
+        fast = sampled_mixing_profile(
+            ba_small, walk_lengths=lengths, num_sources=15, seed=4
+        )
+        slow = sampled_mixing_profile(
+            community_small, walk_lengths=lengths, num_sources=15, seed=4
+        )
+        assert np.all(slow.mean > fast.mean)
+
+
+class TestMixingTime:
+    def test_from_profile_thresholds(self, k5):
+        profile = sampled_mixing_profile(k5, walk_lengths=[1, 2, 3], num_sources=5)
+        t = mixing_time_from_profile(profile, 0.5, aggregate="max")
+        assert t in (1, 2, 3)
+
+    def test_from_profile_none_when_unmixed(self, community_small):
+        profile = sampled_mixing_profile(
+            community_small, walk_lengths=[1, 2], num_sources=5, seed=5
+        )
+        assert mixing_time_from_profile(profile, 1e-9) is None
+
+    def test_unknown_aggregate_rejected(self, k5):
+        profile = sampled_mixing_profile(k5, walk_lengths=[1], num_sources=3)
+        with pytest.raises(GraphError):
+            mixing_time_from_profile(profile, 0.5, aggregate="median")
+
+    def test_sampled_time_within_sinclair_bounds(self):
+        """Cross-validate the two measurement methods on a fast mixer."""
+        g = complete_graph(30)
+        eps = 1 / 30
+        measured = sampled_mixing_time(g, epsilon=eps, max_length=50, num_sources=30)
+        bounds = sinclair_bounds(slem(g), 30, eps)
+        assert measured is not None
+        assert measured <= np.ceil(bounds.upper) + 1
+
+    def test_fast_vs_slow_classification(self, ba_small, community_small):
+        assert is_fast_mixing(ba_small, num_sources=20, seed=6)
+        assert not is_fast_mixing(community_small, num_sources=20, seed=6)
+
+    def test_lazy_profile_flag(self, ba_small):
+        profile = sampled_mixing_profile(
+            ba_small, walk_lengths=[2], num_sources=5, lazy=True
+        )
+        assert profile.lazy

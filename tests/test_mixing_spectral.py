@@ -1,0 +1,113 @@
+"""Unit tests for SLEM and the Sinclair bounds, against closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import (
+    barabasi_albert,
+    community_social_graph,
+    complete_graph,
+    cycle_graph,
+)
+from repro.graph import Graph
+from repro.mixing import (
+    normalized_adjacency,
+    sinclair_bounds,
+    slem,
+    spectral_gap,
+    spectral_mixing_time,
+)
+
+
+class TestNormalizedAdjacency:
+    def test_symmetric(self, ba_small):
+        matrix = normalized_adjacency(ba_small)
+        diff = (matrix - matrix.T).toarray()
+        assert np.abs(diff).max() < 1e-12
+
+    def test_leading_eigenvalue_is_one(self, ba_small):
+        values = np.linalg.eigvalsh(normalized_adjacency(ba_small).toarray())
+        assert values.max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            normalized_adjacency(Graph.empty())
+
+
+class TestSlem:
+    def test_complete_graph_closed_form(self):
+        # K_n: SLEM = 1/(n-1)
+        for n in [4, 8, 16]:
+            assert slem(complete_graph(n)) == pytest.approx(1 / (n - 1), abs=1e-9)
+
+    def test_odd_cycle_closed_form(self):
+        # C_n eigenvalues are cos(2 pi k / n); for odd n the most
+        # negative one, -cos(pi / n), has the largest modulus below 1
+        for n in [5, 7, 9]:
+            assert slem(cycle_graph(n)) == pytest.approx(
+                np.cos(np.pi / n), abs=1e-9
+            )
+
+    def test_even_cycle_is_periodic(self):
+        # bipartite: eigenvalue -1 dominates, SLEM = 1
+        assert slem(cycle_graph(8)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_sparse_path_agrees_with_dense(self):
+        g = barabasi_albert(600, 3, seed=1)
+        sparse_value = slem(g, dense_threshold=10)
+        dense_value = slem(g, dense_threshold=10_000)
+        assert sparse_value == pytest.approx(dense_value, abs=1e-6)
+
+    def test_community_structure_raises_slem(self):
+        fast = barabasi_albert(500, 4, seed=2)
+        slow = community_social_graph(500, 5, 3, 0.01, seed=2)
+        assert slem(slow) > slem(fast)
+
+    def test_single_node_rejected(self):
+        with pytest.raises(GraphError):
+            slem(Graph.empty(1))
+
+    def test_gap_complement(self, k5):
+        assert spectral_gap(k5) == pytest.approx(1 - slem(k5))
+
+
+class TestSinclairBounds:
+    def test_bounds_ordered(self):
+        bounds = sinclair_bounds(0.9, 1000, 0.001)
+        assert 0 <= bounds.lower <= bounds.upper
+
+    def test_fast_chain_small_upper(self):
+        fast = sinclair_bounds(0.2, 1000, 0.001)
+        slow = sinclair_bounds(0.99, 1000, 0.001)
+        assert fast.upper < slow.upper
+        assert fast.lower < slow.lower
+
+    def test_upper_formula(self):
+        mu, n, eps = 0.5, 100, 0.01
+        bounds = sinclair_bounds(mu, n, eps)
+        assert bounds.upper == pytest.approx(
+            (np.log(n) + np.log(1 / eps)) / (1 - mu)
+        )
+
+    def test_lower_formula(self):
+        mu, n, eps = 0.8, 100, 0.01
+        bounds = sinclair_bounds(mu, n, eps)
+        assert bounds.lower == pytest.approx((mu / (1 - mu)) * np.log(1 / (2 * eps)))
+
+    def test_invalid_mu(self):
+        with pytest.raises(GraphError):
+            sinclair_bounds(1.0, 100, 0.01)
+        with pytest.raises(GraphError):
+            sinclair_bounds(-0.1, 100, 0.01)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(GraphError):
+            sinclair_bounds(0.5, 100, 0.0)
+
+    def test_spectral_mixing_time_defaults_epsilon(self, k5):
+        bounds = spectral_mixing_time(k5)
+        assert bounds.epsilon == pytest.approx(1 / 5)
+        assert bounds.slem == pytest.approx(0.25)

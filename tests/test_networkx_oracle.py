@@ -1,0 +1,140 @@
+"""Cross-checks against networkx as an independent oracle.
+
+networkx is used ONLY here — the library itself never imports it.  These
+tests feed the same random graphs to both implementations and demand
+exact agreement on coreness, components, BFS distances, diameter,
+clustering and modularity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.community import greedy_modularity, label_propagation, modularity
+from repro.cores import core_decomposition
+from repro.generators import erdos_renyi_gnm
+from repro.graph import (
+    Graph,
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    diameter,
+    global_clustering,
+    num_connected_components,
+)
+from repro.mixing import slem
+
+
+def _random_pair(num_nodes: int, num_edges: int, seed: int):
+    """Build the same graph in both libraries."""
+    ours = erdos_renyi_gnm(num_nodes, num_edges, seed=seed)
+    theirs = nx.Graph()
+    theirs.add_nodes_from(range(num_nodes))
+    theirs.add_edges_from(map(tuple, ours.edge_array().tolist()))
+    return ours, theirs
+
+
+PAIRS = [(30, 60, 0), (50, 80, 1), (40, 150, 2), (25, 30, 3), (60, 70, 4)]
+
+
+class TestCorenessOracle:
+    @pytest.mark.parametrize("n,m,seed", PAIRS)
+    def test_matches_networkx(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        expected = nx.core_number(theirs)
+        coreness = core_decomposition(ours)
+        for node, k in expected.items():
+            assert coreness[node] == k
+
+
+class TestComponentsOracle:
+    @pytest.mark.parametrize("n,m,seed", PAIRS)
+    def test_component_count(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        assert num_connected_components(ours) == nx.number_connected_components(
+            theirs
+        )
+
+    @pytest.mark.parametrize("n,m,seed", PAIRS)
+    def test_component_membership(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        labels = connected_components(ours)
+        for component in nx.connected_components(theirs):
+            nodes = sorted(component)
+            assert np.unique(labels[nodes]).size == 1
+
+
+class TestDistancesOracle:
+    @pytest.mark.parametrize("n,m,seed", PAIRS)
+    def test_bfs_distances(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        dist = bfs_distances(ours, 0)
+        expected = nx.single_source_shortest_path_length(theirs, 0)
+        for node in range(n):
+            if node in expected:
+                assert dist[node] == expected[node]
+            else:
+                assert dist[node] == -1
+
+    def test_diameter_on_connected_graph(self):
+        ours, theirs = _random_pair(30, 120, 5)
+        assert nx.is_connected(theirs)
+        assert diameter(ours) == nx.diameter(theirs)
+
+
+class TestClusteringOracle:
+    @pytest.mark.parametrize("n,m,seed", PAIRS[:3])
+    def test_average_clustering(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        assert average_clustering(ours) == pytest.approx(
+            nx.average_clustering(theirs), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("n,m,seed", PAIRS[:3])
+    def test_transitivity(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        assert global_clustering(ours) == pytest.approx(
+            nx.transitivity(theirs), abs=1e-12
+        )
+
+
+class TestModularityOracle:
+    @pytest.mark.parametrize("n,m,seed", PAIRS[:3])
+    def test_modularity_value(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        labels = label_propagation(ours, seed=seed)
+        groups = [
+            set(np.flatnonzero(labels == c).tolist())
+            for c in np.unique(labels)
+        ]
+        assert modularity(ours, labels) == pytest.approx(
+            nx.community.modularity(theirs, groups), abs=1e-12
+        )
+
+    def test_greedy_modularity_competitive_with_networkx(self):
+        """Our one-level optimizer should land within 0.1 of networkx's
+        greedy modularity on a community-structured graph."""
+        from repro.generators import planted_partition
+
+        ours = planted_partition(4, 20, 0.4, 0.02, seed=6)
+        theirs = nx.Graph()
+        theirs.add_nodes_from(range(ours.num_nodes))
+        theirs.add_edges_from(map(tuple, ours.edge_array().tolist()))
+        our_q = modularity(ours, greedy_modularity(ours, seed=6))
+        their_partition = nx.community.greedy_modularity_communities(theirs)
+        their_q = nx.community.modularity(theirs, their_partition)
+        assert our_q > their_q - 0.1
+
+
+class TestSpectralOracle:
+    def test_slem_matches_numpy_eigendecomposition_of_nx_matrix(self):
+        ours, theirs = _random_pair(40, 160, 7)
+        assert nx.is_connected(theirs)
+        P = np.asarray(
+            nx.adjacency_matrix(theirs).todense(), dtype=float
+        )
+        P = P / P.sum(axis=1, keepdims=True)
+        eigenvalues = np.sort(np.abs(np.linalg.eigvals(P)))[::-1]
+        assert slem(ours) == pytest.approx(float(eigenvalues[1]), abs=1e-8)

@@ -1,0 +1,78 @@
+"""Property-based tests for the directed-graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digraph import DiGraph, directed_transition_matrix
+
+
+@st.composite
+def digraphs(draw, max_nodes: int = 18):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    k = draw(st.integers(min_value=0, max_value=3 * n))
+    arcs = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return DiGraph.from_arcs(arcs, num_nodes=n)
+
+
+class TestStructuralInvariants:
+    @given(digraphs())
+    @settings(max_examples=100)
+    def test_degree_sums_match_arcs(self, dg):
+        assert dg.out_degrees.sum() == dg.num_arcs
+        assert dg.in_degrees.sum() == dg.num_arcs
+
+    @given(digraphs())
+    @settings(max_examples=100)
+    def test_successor_predecessor_duality(self, dg):
+        for u, v in dg.arcs():
+            assert u in dg.predecessors(v)
+            assert v in dg.successors(u)
+
+    @given(digraphs())
+    @settings(max_examples=100)
+    def test_reverse_is_involution(self, dg):
+        assert dg.reversed().reversed() == dg
+
+    @given(digraphs())
+    @settings(max_examples=100)
+    def test_reverse_swaps_degrees(self, dg):
+        rev = dg.reversed()
+        assert np.array_equal(rev.out_degrees, dg.in_degrees)
+        assert np.array_equal(rev.in_degrees, dg.out_degrees)
+
+    @given(digraphs())
+    @settings(max_examples=100)
+    def test_undirected_projection_bounds(self, dg):
+        und = dg.to_undirected()
+        assert und.num_edges <= dg.num_arcs
+        assert 2 * und.num_edges >= dg.num_arcs
+
+    @given(digraphs())
+    @settings(max_examples=60)
+    def test_round_trip_through_arc_array(self, dg):
+        rebuilt = DiGraph.from_arcs(dg.arc_array(), num_nodes=dg.num_nodes)
+        assert rebuilt == dg
+
+
+class TestChainInvariants:
+    @given(digraphs(), st.sampled_from([1.0, 0.85, 0.5]))
+    @settings(max_examples=60, deadline=None)
+    def test_transition_rows_stochastic(self, dg, damping):
+        matrix = directed_transition_matrix(dg, damping=damping)
+        rows = np.asarray(matrix.sum(axis=1)).ravel()
+        assert np.allclose(rows, 1.0)
+
+    @given(digraphs())
+    @settings(max_examples=60, deadline=None)
+    def test_damped_matrix_strictly_positive(self, dg):
+        matrix = directed_transition_matrix(dg, damping=0.85).toarray()
+        assert matrix.min() > 0

@@ -1,0 +1,111 @@
+"""Property-based tests for Markov-chain machinery and distances."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.markov import (
+    TransitionOperator,
+    kl_divergence,
+    total_variation_distance,
+)
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 15):
+    """Graphs guaranteed connected via a random spanning tree."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = [(i, draw(st.integers(0, i - 1))) for i in range(1, n)]
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=2 * n,
+        )
+    )
+    return Graph.from_edges(edges + extra, num_nodes=n)
+
+
+@st.composite
+def distributions(draw, size: int = 6):
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    arr = np.asarray(raw)
+    return arr / arr.sum()
+
+
+class TestDistanceAxioms:
+    @given(distributions(), distributions())
+    @settings(max_examples=100)
+    def test_tvd_bounds(self, p, q):
+        d = total_variation_distance(p, q)
+        assert 0.0 <= d <= 1.0 + 1e-12
+
+    @given(distributions(), distributions())
+    @settings(max_examples=100)
+    def test_tvd_symmetry(self, p, q):
+        assert total_variation_distance(p, q) == total_variation_distance(q, p)
+
+    @given(distributions())
+    @settings(max_examples=100)
+    def test_tvd_identity(self, p):
+        assert total_variation_distance(p, p) == 0.0
+
+    @given(distributions(), distributions(), distributions())
+    @settings(max_examples=100)
+    def test_tvd_triangle_inequality(self, p, q, r):
+        assert total_variation_distance(p, r) <= (
+            total_variation_distance(p, q) + total_variation_distance(q, r) + 1e-12
+        )
+
+    @given(distributions(), distributions())
+    @settings(max_examples=100)
+    def test_kl_nonnegative(self, p, q):
+        assert kl_divergence(p, q) >= -1e-12
+
+
+class TestChainInvariants:
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_evolution_preserves_probability(self, g):
+        op = TransitionOperator(g)
+        dist = op.delta(0)
+        for _ in range(5):
+            dist = op.evolve(dist)
+            assert abs(dist.sum() - 1.0) < 1e-9
+            assert np.all(dist >= -1e-15)
+
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_stationary_is_fixed_point(self, g):
+        op = TransitionOperator(g)
+        assert np.allclose(op.evolve(op.stationary), op.stationary, atol=1e-12)
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_chain_converges_to_stationary(self, g):
+        """The lazy chain on a connected graph always converges."""
+        op = TransitionOperator(g, lazy=True)
+        dist = op.distribution_after(0, 300)
+        assert total_variation_distance(dist, op.stationary) < 0.01
+
+    @given(connected_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_tvd_to_stationary_monotone_for_lazy_chain(self, g):
+        """Lazy-chain TVD to stationarity never increases (a standard
+        contraction property used implicitly by the mixing measurement)."""
+        op = TransitionOperator(g, lazy=True)
+        dist = op.delta(0)
+        previous = total_variation_distance(dist, op.stationary)
+        for _ in range(10):
+            dist = op.evolve(dist)
+            current = total_variation_distance(dist, op.stationary)
+            assert current <= previous + 1e-10
+            previous = current

@@ -1,0 +1,111 @@
+"""Property-based tests for Sybil-defense invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators import barabasi_albert, complete_graph
+from repro.sybil import distribute_tickets, inject_sybils
+from repro.sybil.tickets import TicketPlan
+
+
+@st.composite
+def attack_setups(draw):
+    honest_n = draw(st.integers(min_value=20, max_value=60))
+    sybil_n = draw(st.integers(min_value=5, max_value=20))
+    g = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    honest = barabasi_albert(honest_n, 2, seed=seed)
+    sybil = complete_graph(sybil_n)
+    return inject_sybils(honest, sybil, g, seed=seed)
+
+
+class TestAttackInvariants:
+    @given(attack_setups())
+    @settings(max_examples=50, deadline=None)
+    def test_edge_accounting(self, attack):
+        honest_edges = sum(
+            1
+            for u, v in attack.graph.edges()
+            if not attack.is_sybil(u) and not attack.is_sybil(v)
+        )
+        sybil_edges = sum(
+            1
+            for u, v in attack.graph.edges()
+            if attack.is_sybil(u) and attack.is_sybil(v)
+        )
+        cross = attack.graph.num_edges - honest_edges - sybil_edges
+        assert cross == attack.num_attack_edges
+
+    @given(attack_setups())
+    @settings(max_examples=50, deadline=None)
+    def test_region_partition(self, attack):
+        assert attack.num_honest + attack.num_sybil == attack.graph.num_nodes
+        assert np.all(attack.attack_edges[:, 0] < attack.num_honest)
+        assert np.all(attack.attack_edges[:, 1] >= attack.num_honest)
+
+    @given(attack_setups(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_evaluation_bounds(self, attack, fraction):
+        count = int(fraction * attack.graph.num_nodes)
+        accepted = np.arange(count, dtype=np.int64)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
+        assert 0.0 <= honest_frac <= 1.0
+        assert per_edge >= 0.0
+
+
+class TestTicketInvariants:
+    @given(
+        st.integers(min_value=20, max_value=80),
+        st.integers(min_value=0, max_value=100),
+        st.floats(min_value=2.0, max_value=500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_tickets_created(self, n, seed, budget):
+        """At every BFS level, arriving tickets never exceed the budget
+        (tickets are consumed and dropped, never minted)."""
+        g = barabasi_albert(n, 2, seed=seed)
+        result = distribute_tickets(g, 0, budget)
+        from repro.graph import bfs_distances
+
+        dist = bfs_distances(g, 0)
+        for level in range(1, int(dist.max()) + 1):
+            assert result.node_tickets[dist == level].sum() <= budget + 1e-9
+
+    @given(
+        st.integers(min_value=20, max_value=80),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_budget(self, n, seed):
+        """More tickets reach at least as many nodes."""
+        g = barabasi_albert(n, 2, seed=seed)
+        plan = TicketPlan(g, 0)
+        small = plan.run(5).reached.size
+        large = plan.run(500).reached.size
+        assert large >= small
+
+    @given(
+        st.integers(min_value=20, max_value=80),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reached_set_is_bfs_prefix_closed(self, n, seed):
+        """A reached node's BFS parent chain is also reached: tickets
+        only travel along BFS forward edges."""
+        g = barabasi_albert(n, 2, seed=seed)
+        result = distribute_tickets(g, 0, 100)
+        from repro.graph import bfs_distances
+
+        dist = bfs_distances(g, 0)
+        reached = set(result.reached.tolist())
+        for v in result.reached:
+            v = int(v)
+            if dist[v] == 0:
+                continue
+            parents = [
+                int(u) for u in g.neighbors(v) if dist[u] == dist[v] - 1
+            ]
+            assert any(p in reached for p in parents)

@@ -1,0 +1,133 @@
+"""Robustness tests: degenerate and hostile inputs across the API.
+
+Every measurement should either handle or cleanly reject disconnected
+graphs, dangling nodes, stars, single edges and near-empty inputs — the
+shapes a user's real edge-list export actually contains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cores import core_structure, coreness_ecdf
+from repro.errors import GraphError, ReproError
+from repro.expansion import envelope_expansion, source_expansion
+from repro.graph import Graph, largest_connected_component
+from repro.markov import TransitionOperator, random_walk
+from repro.mixing import sampled_mixing_profile, slem
+
+
+@pytest.fixture
+def disconnected():
+    """Two components plus two isolated nodes."""
+    return Graph.from_edges([(0, 1), (1, 2), (3, 4)], num_nodes=7)
+
+
+class TestDisconnectedGraphs:
+    def test_mixing_profile_never_converges(self, disconnected):
+        """A reducible chain cannot reach the global stationary
+        distribution; the profile reports that honestly (TVD floor)."""
+        profile = sampled_mixing_profile(
+            disconnected, walk_lengths=[1, 50], sources=[0], seed=0
+        )
+        assert profile.mean[-1] > 0.1
+
+    def test_slem_at_one(self, disconnected):
+        assert slem(disconnected) == pytest.approx(1.0, abs=1e-9)
+
+    def test_core_structure_counts_components(self, disconnected):
+        structure = core_structure(disconnected)
+        # the 1-core is the two non-trivial components
+        assert structure.num_cores[1] == 2
+
+    def test_source_expansion_sees_only_own_component(self, disconnected):
+        result = source_expansion(disconnected, 3)
+        assert result.level_sizes.sum() == 2  # component {3, 4}
+
+    def test_walks_stay_in_component(self, disconnected):
+        rng = np.random.default_rng(0)
+        walk = random_walk(disconnected, 3, 40, rng=rng)
+        assert set(walk.tolist()) <= {3, 4}
+
+    def test_lcc_extraction_is_the_fix(self, disconnected):
+        lcc, ids = largest_connected_component(disconnected)
+        assert lcc.num_nodes == 3
+        assert slem(lcc) < 1.0
+
+
+class TestIsolatedNodes:
+    def test_transition_operator_isolated_absorbing(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        op = TransitionOperator(g)
+        dist = op.distribution_after(2, 10)
+        assert dist[2] == 1.0
+
+    def test_coreness_ecdf_includes_zero(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        values, fractions = coreness_ecdf(g)
+        assert values[0] == 0
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_envelope_expansion_from_isolated_source(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        meas = envelope_expansion(g, sources=[3])
+        assert meas.set_sizes.size == 0  # no frontier to measure
+
+
+class TestExtremeTopologies:
+    def test_single_edge_graph(self):
+        g = Graph.from_edges([(0, 1)])
+        assert slem(g) == pytest.approx(1.0)  # bipartite, period 2
+        profile = sampled_mixing_profile(g, walk_lengths=[2], sources=[0], lazy=True)
+        assert profile.tvd.shape == (1, 1)
+
+    def test_star_measurements(self):
+        from repro.generators import star_graph
+
+        g = star_graph(30)
+        structure = core_structure(g)
+        assert structure.degeneracy == 1
+        meas = envelope_expansion(g)
+        # hub envelope: |S|=1, |N(S)|=30; leaf: two levels
+        assert meas.neighbor_counts.max() == 30
+
+    def test_two_cliques_chained_through_weak_node(self):
+        k4a = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        k4b = [(i + 4, j + 4) for i, j in k4a]
+        chain = [(3, 8), (8, 4)]  # node 8 has degree 2 < 3
+        g = Graph.from_edges(k4a + k4b + chain)
+        structure = core_structure(g)
+        assert structure.num_cores[2] == 1  # chain node survives k=2
+        assert structure.num_cores[3] == 2  # pruned at k=3: cliques split
+
+    def test_very_dense_graph(self):
+        from repro.generators import complete_graph
+
+        g = complete_graph(40)
+        profile = sampled_mixing_profile(g, walk_lengths=[1, 2], num_sources=5)
+        assert profile.mean[-1] < 0.05
+
+
+class TestSeedDeterminism:
+    """Identical seeds must give identical numbers everywhere."""
+
+    def test_mixing_profile_deterministic(self, ba_small):
+        a = sampled_mixing_profile(ba_small, walk_lengths=[3], num_sources=8, seed=5)
+        b = sampled_mixing_profile(ba_small, walk_lengths=[3], num_sources=8, seed=5)
+        assert np.array_equal(a.tvd, b.tvd)
+        assert np.array_equal(a.sources, b.sources)
+
+    def test_expansion_deterministic(self, ba_small):
+        a = envelope_expansion(ba_small, num_sources=6, seed=6)
+        b = envelope_expansion(ba_small, num_sources=6, seed=6)
+        assert np.array_equal(a.set_sizes, b.set_sizes)
+
+    def test_defense_deterministic(self, ba_small):
+        from repro.sybil import GateKeeper, GateKeeperConfig, standard_attack
+
+        attack = standard_attack(ba_small, 4, seed=7)
+        cfg = GateKeeperConfig(num_distributors=10, seed=7)
+        a = GateKeeper(attack.graph, cfg).run(0)
+        b = GateKeeper(attack.graph, cfg).run(0)
+        assert np.array_equal(a.admitted, b.admitted)

@@ -1,0 +1,67 @@
+"""Unit tests for the uniform cross-defense harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.sybil import (
+    DEFENSE_NAMES,
+    compare_defenses,
+    evaluate_defense,
+    standard_attack,
+)
+
+
+@pytest.fixture(scope="module")
+def attack():
+    honest = barabasi_albert(250, 4, seed=0)
+    return standard_attack(honest, 5, seed=0)
+
+
+class TestEvaluateDefense:
+    @pytest.mark.parametrize("defense", DEFENSE_NAMES)
+    def test_every_defense_runs(self, attack, defense):
+        outcome = evaluate_defense(
+            attack, defense, suspect_sample=60, dataset="ba", seed=1
+        )
+        assert outcome.defense == defense
+        assert 0.0 <= outcome.honest_acceptance <= 1.0
+        assert outcome.sybils_per_attack_edge >= 0.0
+
+    def test_unknown_defense_rejected(self, attack):
+        with pytest.raises(SybilDefenseError):
+            evaluate_defense(attack, "sybilshield")
+
+    def test_sybil_verifier_rejected(self, attack):
+        with pytest.raises(SybilDefenseError):
+            evaluate_defense(attack, "ranking", verifier=attack.num_honest)
+
+
+class TestCompareDefenses:
+    def test_all_defenses_separate_the_attack(self, attack):
+        """The Viswanath observation in miniature: every defense gives
+        honest nodes a better deal than the Sybil region."""
+        outcomes = compare_defenses(attack, suspect_sample=60, seed=2)
+        assert len(outcomes) == len(DEFENSE_NAMES)
+        for outcome in outcomes:
+            max_per_edge = attack.num_sybil / attack.num_attack_edges
+            assert outcome.honest_acceptance > 0.5, outcome.defense
+            # <= not <: SybilDefender's revisit statistic degenerates on
+            # this tiny, well-leaked scenario (its documented weak
+            # regime) and accepts the whole sample; every other defense
+            # stays strictly below the pool
+            assert outcome.sybils_per_attack_edge <= max_per_edge, outcome.defense
+        strict = [o for o in outcomes if o.defense != "sybildefender"]
+        assert all(
+            o.sybils_per_attack_edge
+            < attack.num_sybil / attack.num_attack_edges
+            for o in strict
+        )
+
+    def test_subset_of_defenses(self, attack):
+        outcomes = compare_defenses(
+            attack, defenses=("ranking", "sumup"), suspect_sample=40, seed=3
+        )
+        assert [o.defense for o in outcomes] == ["ranking", "sumup"]

@@ -1,0 +1,76 @@
+"""Unit tests for the walk escape-probability measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.sybil import (
+    exact_escape_probability,
+    measure_escape,
+    standard_attack,
+)
+
+
+@pytest.fixture(scope="module")
+def attack():
+    honest = barabasi_albert(300, 4, seed=0)
+    return standard_attack(honest, 6, seed=0)
+
+
+class TestMonteCarlo:
+    def test_monotone_in_walk_length(self, attack):
+        result = measure_escape(attack, [2, 8, 32], num_walks=800, seed=1)
+        assert np.all(np.diff(result.escape) >= 0)
+
+    def test_probability_bounds(self, attack):
+        result = measure_escape(attack, [5, 20], num_walks=500, seed=2)
+        assert np.all((0 <= result.escape) & (result.escape <= 1))
+
+    def test_more_attack_edges_escape_more(self):
+        honest = barabasi_albert(300, 4, seed=3)
+        few = measure_escape(
+            standard_attack(honest, 3, seed=3), [16], num_walks=1500, seed=4
+        )
+        many = measure_escape(
+            standard_attack(honest, 30, seed=3), [16], num_walks=1500, seed=4
+        )
+        assert many.escape[0] > few.escape[0]
+
+    def test_theoretical_bound_shape(self, attack):
+        result = measure_escape(attack, [4, 16], num_walks=400, seed=5)
+        bound = result.theoretical_bound()
+        assert bound.shape == result.escape.shape
+        assert np.all(bound <= 1.0)
+
+    def test_invalid_lengths(self, attack):
+        with pytest.raises(SybilDefenseError):
+            measure_escape(attack, [8, 4])
+        with pytest.raises(SybilDefenseError):
+            measure_escape(attack, [4], num_walks=0)
+
+
+class TestExact:
+    def test_matches_monte_carlo(self, attack):
+        lengths = [4, 16]
+        exact = exact_escape_probability(attack, lengths)
+        sampled = measure_escape(attack, lengths, num_walks=6000, seed=6)
+        assert np.allclose(exact.escape, sampled.escape, atol=0.03)
+
+    def test_monotone(self, attack):
+        exact = exact_escape_probability(attack, [1, 4, 16, 64])
+        assert np.all(np.diff(exact.escape) >= -1e-12)
+
+    def test_small_g_small_w_within_first_order_bound(self, attack):
+        """For small g*w/m the measured escape is below ~2x the bound
+        (the bound ignores revisits, so it overestimates slightly but
+        the order matches)."""
+        exact = exact_escape_probability(attack, [2, 8])
+        bound = exact.theoretical_bound()
+        assert np.all(exact.escape <= 2.5 * bound + 0.01)
+
+    def test_invalid_lengths(self, attack):
+        with pytest.raises(SybilDefenseError):
+            exact_escape_probability(attack, [])

@@ -1,0 +1,61 @@
+"""Unit tests for the shared Sybil evaluation harness (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.sybil import evaluate_gatekeeper, gatekeeper_table_row, standard_attack
+
+
+@pytest.fixture(scope="module")
+def honest_graph():
+    return barabasi_albert(350, 4, seed=0)
+
+
+class TestEvaluateGatekeeper:
+    def test_outcome_per_factor(self, honest_graph):
+        attack = standard_attack(honest_graph, 6, seed=1)
+        outcomes = evaluate_gatekeeper(
+            attack, [0.1, 0.3], num_controllers=2, num_distributors=20, seed=1
+        )
+        assert len(outcomes) == 2
+        assert {o.parameter for o in outcomes} == {0.1, 0.3}
+        for o in outcomes:
+            assert 0.0 <= o.honest_acceptance <= 1.0
+            assert o.sybils_per_attack_edge >= 0.0
+            assert o.num_controllers == 2
+            assert o.defense == "gatekeeper"
+
+    def test_monotone_in_admission_factor(self, honest_graph):
+        attack = standard_attack(honest_graph, 6, seed=2)
+        outcomes = evaluate_gatekeeper(
+            attack, [0.1, 0.2, 0.4], num_controllers=2, num_distributors=25, seed=2
+        )
+        by_factor = {o.parameter: o.honest_acceptance for o in outcomes}
+        assert by_factor[0.1] >= by_factor[0.2] >= by_factor[0.4]
+
+    def test_no_factors_rejected(self, honest_graph):
+        attack = standard_attack(honest_graph, 5, seed=3)
+        with pytest.raises(SybilDefenseError):
+            evaluate_gatekeeper(attack, [])
+
+
+class TestTableRow:
+    def test_default_factors(self, honest_graph):
+        outcomes = gatekeeper_table_row(
+            honest_graph, "test", num_attack_edges=5, num_controllers=1, seed=4
+        )
+        assert [o.parameter for o in outcomes] == [0.1, 0.2, 0.3]
+        assert all(o.dataset == "test" for o in outcomes)
+
+    def test_table_ii_shape(self, honest_graph):
+        """Table II's qualitative shape: high honest acceptance at
+        f=0.1, O(1) Sybils per attack edge throughout."""
+        outcomes = gatekeeper_table_row(
+            honest_graph, "shape", num_attack_edges=7, num_controllers=2, seed=5
+        )
+        first = outcomes[0]
+        assert first.honest_acceptance > 0.85
+        assert all(o.sybils_per_attack_edge < 25 for o in outcomes)

@@ -1,0 +1,105 @@
+"""Unit tests for SybilInfer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.graph import Graph
+from repro.sybil import SybilInfer, SybilInferConfig, standard_attack
+
+
+@pytest.fixture(scope="module")
+def infer_setup():
+    honest = barabasi_albert(150, 4, seed=0)
+    attack = standard_attack(honest, 4, sybil_scale=0.3, seed=0)
+    infer = SybilInfer(
+        attack.graph, SybilInferConfig(num_samples=80, burn_in=40, seed=1)
+    )
+    return attack, infer
+
+
+class TestConfig:
+    def test_invalid_walks(self):
+        with pytest.raises(SybilDefenseError):
+            SybilInferConfig(walks_per_node=0)
+
+    def test_invalid_schedule(self):
+        with pytest.raises(SybilDefenseError):
+            SybilInferConfig(num_samples=0)
+
+    def test_invalid_escape(self):
+        with pytest.raises(SybilDefenseError):
+            SybilInferConfig(escape_probability=0.0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(SybilDefenseError):
+            SybilInfer(Graph.from_edges([(0, 1), (1, 2)]))
+
+
+class TestLikelihood:
+    def test_honest_partition_beats_full_set(self, infer_setup):
+        attack, infer = infer_setup
+        n = attack.graph.num_nodes
+        full = np.ones(n, dtype=bool)
+        honest_only = np.zeros(n, dtype=bool)
+        honest_only[: attack.num_honest] = True
+        assert infer.log_likelihood(honest_only) > infer.log_likelihood(full)
+
+    def test_honest_partition_beats_random_split(self, infer_setup):
+        attack, infer = infer_setup
+        n = attack.graph.num_nodes
+        honest_only = np.zeros(n, dtype=bool)
+        honest_only[: attack.num_honest] = True
+        rng = np.random.default_rng(2)
+        random_split = rng.random(n) < attack.num_honest / n
+        assert infer.log_likelihood(honest_only) > infer.log_likelihood(random_split)
+
+    def test_degenerate_sets_are_single_block(self, infer_setup):
+        """All-True and all-False both reduce to the one-block model and
+        score identically (every walk stays within its region)."""
+        attack, infer = infer_setup
+        n = attack.graph.num_nodes
+        full = infer.log_likelihood(np.ones(n, dtype=bool))
+        empty = infer.log_likelihood(np.zeros(n, dtype=bool))
+        assert np.isfinite(full)
+        assert full == pytest.approx(empty)
+
+
+class TestInference:
+    def test_recovers_honest_region(self, infer_setup):
+        attack, infer = infer_setup
+        result = infer.run(trusted=0)
+        accepted = result.accepted(0.5)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
+        assert honest_frac > 0.8
+        assert per_edge < 3.0
+
+    def test_trusted_always_honest(self, infer_setup):
+        _, infer = infer_setup
+        result = infer.run(trusted=5)
+        assert result.honest_probability[5] == 1.0
+        assert 5 in result.best_set
+
+    def test_probabilities_are_probabilities(self, infer_setup):
+        _, infer = infer_setup
+        result = infer.run(trusted=0)
+        assert np.all(result.honest_probability >= 0.0)
+        assert np.all(result.honest_probability <= 1.0)
+
+    def test_threshold_monotone(self, infer_setup):
+        _, infer = infer_setup
+        result = infer.run(trusted=0)
+        assert result.accepted(0.9).size <= result.accepted(0.1).size
+
+    def test_incremental_matches_batch_likelihood(self, infer_setup):
+        """The MH sampler's counter-based likelihood must agree with the
+        from-scratch computation on its final state."""
+        attack, infer = infer_setup
+        result = infer.run(trusted=0)
+        member = np.zeros(infer.graph.num_nodes, dtype=bool)
+        member[result.best_set] = True
+        recomputed = infer.log_likelihood(member)
+        assert recomputed == pytest.approx(result.best_log_likelihood, rel=1e-9)

@@ -1,0 +1,98 @@
+"""Unit tests for SybilLimit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SybilDefenseError
+from repro.generators import barabasi_albert
+from repro.graph import Graph
+from repro.sybil import SybilLimit, SybilLimitConfig, standard_attack
+
+
+@pytest.fixture(scope="module")
+def limit_setup():
+    honest = barabasi_albert(250, 4, seed=0)
+    attack = standard_attack(honest, 4, sybil_scale=0.3, seed=0)
+    defense = SybilLimit(
+        attack.graph, SybilLimitConfig(num_routes=120, route_length=14, seed=1)
+    )
+    return attack, defense
+
+
+class TestConfig:
+    def test_default_scaling(self):
+        g = barabasi_albert(200, 3, seed=2)
+        defense = SybilLimit(g, SybilLimitConfig(seed=2))
+        assert defense.num_routes == int(np.ceil(3.0 * np.sqrt(g.num_edges)))
+        assert defense.route_length == int(np.ceil(2.0 * np.log2(200)))
+
+    def test_invalid_params(self):
+        with pytest.raises(SybilDefenseError):
+            SybilLimitConfig(num_routes=0)
+        with pytest.raises(SybilDefenseError):
+            SybilLimitConfig(route_length=0)
+        with pytest.raises(SybilDefenseError):
+            SybilLimitConfig(balance_h=0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(SybilDefenseError):
+            SybilLimit(Graph.from_edges([(0, 1)]))
+
+
+class TestTails:
+    def test_tail_count(self, limit_setup):
+        _, defense = limit_setup
+        assert len(defense.tails(0)) == defense.num_routes
+
+    def test_tails_are_edges(self, limit_setup):
+        _, defense = limit_setup
+        for u, v in defense.tails(3):
+            assert defense.graph.has_edge(u, v)
+
+    def test_tails_cached_and_deterministic(self, limit_setup):
+        _, defense = limit_setup
+        assert defense.tails(5) is defense.tails(5)
+
+
+class TestVerification:
+    def test_self_accepted(self, limit_setup):
+        _, defense = limit_setup
+        assert defense.verify_all(0, [0]).size == 1
+
+    def test_honest_acceptance_dominates_sybil(self, limit_setup):
+        attack, defense = limit_setup
+        rng = np.random.default_rng(3)
+        verifier = 1
+        honest_sample = rng.choice(attack.num_honest, size=30, replace=False)
+        sybil_sample = rng.choice(attack.sybil_nodes, size=30, replace=False)
+        honest_accepted = defense.verify_all(verifier, honest_sample).size
+        sybil_accepted = defense.verify_all(verifier, sybil_sample).size
+        assert honest_accepted > 15
+        assert sybil_accepted < honest_accepted
+
+    def test_balance_condition_bounds_acceptance(self, limit_setup):
+        """Even a flood of suspects cannot exceed the aggregate tail load
+        budget enforced by the balance condition."""
+        attack, defense = limit_setup
+        rng = np.random.default_rng(4)
+        flood = rng.integers(0, attack.graph.num_nodes, size=500)
+        accepted = defense.verify_all(2, flood)
+        r = defense.num_routes
+        h = 4.0  # default balance_h
+        # total accepted load across tails is bounded by r * h * max(log r, avg)
+        assert accepted.size <= h * max(np.log(r), (accepted.size + 1) / r) * r
+
+    def test_verify_single(self, limit_setup):
+        attack, defense = limit_setup
+        assert defense.verify(0, 0)
+
+    def test_order_dependence_is_bounded(self, limit_setup):
+        """Different suspect orders may shuffle who is accepted but not
+        dramatically change how many."""
+        attack, defense = limit_setup
+        suspects = np.arange(40)
+        forward = defense.verify_all(6, suspects).size
+        backward = defense.verify_all(6, suspects[::-1]).size
+        assert abs(forward - backward) <= 5
