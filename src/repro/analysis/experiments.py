@@ -82,8 +82,15 @@ def figure1_mixing_profiles(
     num_sources: int = 100,
     scale: float = 1.0,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> dict[str, MixingProfile]:
-    """Measure Figure 1: sampled TVD-vs-walk-length per analog."""
+    """Measure Figure 1: sampled TVD-vs-walk-length per analog.
+
+    ``strategy``/``chunk_size``/``workers`` select the walk engine as in
+    :func:`repro.mixing.sampled_mixing_profile`.
+    """
     lengths = walk_lengths or [1, 2, 3, 4, 5, 7, 10, 15, 20, 30, 40, 50]
     return {
         name: sampled_mixing_profile(
@@ -91,6 +98,9 @@ def figure1_mixing_profiles(
             walk_lengths=lengths,
             num_sources=num_sources,
             seed=seed,
+            strategy=strategy,
+            chunk_size=chunk_size,
+            workers=workers,
         )
         for name in datasets
     }

@@ -1,5 +1,6 @@
 """Markov-chain substrate: transition operators, walks and distances."""
 
+from repro.markov.batch import batched_tvd_profile, delta_block, evolve_block
 from repro.markov.hitting import (
     commute_time,
     effective_resistance,
@@ -10,6 +11,8 @@ from repro.markov.hitting import (
 from repro.markov.distance import kl_divergence, l2_distance, total_variation_distance
 from repro.markov.transition import (
     TransitionOperator,
+    clear_operator_cache,
+    get_operator,
     stationary_distribution,
     transition_matrix,
 )
@@ -24,6 +27,11 @@ __all__ = [
     "TransitionOperator",
     "transition_matrix",
     "stationary_distribution",
+    "get_operator",
+    "clear_operator_cache",
+    "delta_block",
+    "evolve_block",
+    "batched_tvd_profile",
     "total_variation_distance",
     "l2_distance",
     "kl_divergence",

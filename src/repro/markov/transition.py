@@ -8,16 +8,22 @@ repeated application via scipy sparse matvecs.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import GraphError
 from repro.graph.core import Graph
+from repro.markov.batch import batched_tvd_profile, delta_block, evolve_block
 
 __all__ = [
     "TransitionOperator",
     "stationary_distribution",
     "transition_matrix",
+    "get_operator",
+    "clear_operator_cache",
 ]
 
 
@@ -139,3 +145,109 @@ class TransitionOperator:
             dist = self.evolve(dist)
             out[t] = dist
         return out
+
+    # ------------------------------------------------------------------
+    # batched multi-source evolution
+    # ------------------------------------------------------------------
+    def distribution_block(self, sources: np.ndarray | list[int]) -> np.ndarray:
+        """Return an ``(n, s)`` block of delta distributions.
+
+        Column ``j`` is ``delta(sources[j])``; the block is the input to
+        :meth:`evolve_many`.
+        """
+        return delta_block(self._graph.num_nodes, sources)
+
+    def evolve_many(
+        self,
+        block: np.ndarray,
+        steps: int = 1,
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Advance every column of an ``(n, s)`` block by ``steps`` steps.
+
+        Column ``j`` of the result is bit-identical to evolving column
+        ``j`` alone through :meth:`evolve` ``steps`` times, but the
+        whole block moves in single sparse x dense products.
+        ``chunk_size`` bounds the dense working set at ``O(n * chunk)``
+        columns at a time; ``workers`` fans independent chunks out over
+        a thread pool.
+        """
+        from repro.markov.batch import _resolve_chunks, _run_chunks
+
+        dense = np.asarray(block, dtype=float)
+        n = self._graph.num_nodes
+        if dense.ndim != 2 or dense.shape[0] != n:
+            raise GraphError(f"block must have shape ({n}, s), got {dense.shape}")
+        if chunk_size is None and workers is None:
+            return evolve_block(self._matrix, dense, steps)
+        out = np.empty_like(dense)
+        chunks = _resolve_chunks(dense.shape[1], chunk_size, workers)
+
+        def run_chunk(columns: slice) -> None:
+            out[:, columns] = evolve_block(self._matrix, dense[:, columns], steps)
+
+        _run_chunks(run_chunk, chunks, workers)
+        return out
+
+    def tvd_profile(
+        self,
+        sources: np.ndarray | list[int],
+        walk_lengths: np.ndarray | list[int],
+        chunk_size: int | None = None,
+        workers: int | None = None,
+    ) -> np.ndarray:
+        """Return the ``(len(sources), len(walk_lengths))`` TVD matrix.
+
+        The batched core of the Figure-1 sampling measurement: every
+        source delta is evolved through the recorded walk lengths and
+        compared against :attr:`stationary` (see
+        :func:`repro.markov.batch.batched_tvd_profile`).
+        """
+        return batched_tvd_profile(
+            self._matrix,
+            self._stationary,
+            sources,
+            walk_lengths,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+
+
+# ----------------------------------------------------------------------
+# per-graph operator cache
+# ----------------------------------------------------------------------
+_OPERATOR_CACHE: OrderedDict[tuple[Graph, bool], TransitionOperator] = OrderedDict()
+_OPERATOR_CACHE_SIZE = 8
+_OPERATOR_CACHE_LOCK = threading.Lock()
+
+
+def get_operator(graph: Graph, lazy: bool = False) -> TransitionOperator:
+    """Return a cached :class:`TransitionOperator` for ``graph``.
+
+    The sampling measurements, trust modulation and the ranking-style
+    Sybil defenses all walk the same graphs repeatedly; this
+    keyed-by-content LRU (``Graph`` hashes its CSR arrays) lets them
+    share one sparse P per ``(graph, lazy)`` pair instead of rebuilding
+    it.  Operators are immutable in use — callers must not modify the
+    cached matrix in place.
+    """
+    key = (graph, lazy)
+    with _OPERATOR_CACHE_LOCK:
+        cached = _OPERATOR_CACHE.get(key)
+        if cached is not None:
+            _OPERATOR_CACHE.move_to_end(key)
+            return cached
+    operator = TransitionOperator(graph, lazy=lazy)
+    with _OPERATOR_CACHE_LOCK:
+        _OPERATOR_CACHE[key] = operator
+        _OPERATOR_CACHE.move_to_end(key)
+        while len(_OPERATOR_CACHE) > _OPERATOR_CACHE_SIZE:
+            _OPERATOR_CACHE.popitem(last=False)
+    return operator
+
+
+def clear_operator_cache() -> None:
+    """Drop every cached operator (frees the sparse matrices)."""
+    with _OPERATOR_CACHE_LOCK:
+        _OPERATOR_CACHE.clear()

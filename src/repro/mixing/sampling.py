@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.graph.core import Graph
+from repro.markov.batch import validate_walk_lengths
 from repro.markov.distance import total_variation_distance
-from repro.markov.transition import TransitionOperator
+from repro.markov.transition import TransitionOperator, get_operator
 
 __all__ = [
     "MixingProfile",
@@ -69,6 +70,27 @@ class MixingProfile:
         return np.percentile(self.tvd, q, axis=0)
 
 
+def _sequential_tvd(
+    operator: TransitionOperator, sources: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """One-source-at-a-time oracle: a sparse matvec per source per step.
+
+    Kept as the reference implementation the batched engine is tested
+    against (``strategy="sequential"``).
+    """
+    pi = operator.stationary
+    tvd = np.empty((sources.size, lengths.size))
+    for row, source in enumerate(sources):
+        dist = operator.delta(int(source))
+        step = 0
+        for col, target in enumerate(lengths):
+            while step < target:
+                dist = operator.evolve(dist)
+                step += 1
+            tvd[row, col] = total_variation_distance(dist, pi)
+    return tvd
+
+
 def sampled_mixing_profile(
     graph: Graph,
     walk_lengths: np.ndarray | list[int] | None = None,
@@ -76,6 +98,9 @@ def sampled_mixing_profile(
     sources: np.ndarray | list[int] | None = None,
     lazy: bool = False,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> MixingProfile:
     """Measure TVD-to-stationary for sampled sources and walk lengths.
 
@@ -84,25 +109,35 @@ def sampled_mixing_profile(
     graph:
         Graph to measure; should be connected (use the LCC otherwise).
     walk_lengths:
-        Walk lengths to record.  Defaults to ``1 .. 50`` (the x-range of
-        the paper's Figure 1).
+        Walk lengths to record, strictly increasing.  Defaults to
+        ``1 .. 50`` (the x-range of the paper's Figure 1).  Length ``0``
+        is allowed and records the TVD of the source delta itself.
     num_sources:
         Number of uniformly sampled sources when ``sources`` is None.
         The paper uses 100 random sources.
     sources:
-        Explicit source list, overriding sampling.
+        Explicit source list, overriding sampling.  Sources are sorted
+        before evolution so ``tvd`` rows always align with the
+        ``sources`` attribute of the returned profile.
     lazy:
         Evolve the lazy chain ``(I + P)/2`` instead of P.
+    strategy:
+        ``"batched"`` (default) evolves all sources as dense column
+        blocks in single sparse x dense products;  ``"sequential"`` is
+        the one-matvec-per-source oracle.  Both produce byte-identical
+        TVD matrices.
+    chunk_size:
+        Batched only: columns evolved per block, bounding memory at
+        ``O(n * chunk_size)``.
+    workers:
+        Batched only: fan independent source chunks out over a thread
+        pool of this size.
     """
     if graph.num_nodes < 2:
         raise GraphError("mixing measurement needs at least 2 nodes")
-    lengths = (
-        np.arange(1, 51, dtype=np.int64)
-        if walk_lengths is None
-        else np.asarray(list(walk_lengths), dtype=np.int64)
+    lengths = validate_walk_lengths(
+        np.arange(1, 51, dtype=np.int64) if walk_lengths is None else walk_lengths
     )
-    if lengths.size == 0 or lengths.min() < 0 or np.any(np.diff(lengths) <= 0):
-        raise GraphError("walk_lengths must be strictly increasing and non-negative")
     rng = np.random.default_rng(seed)
     if sources is None:
         count = min(num_sources, graph.num_nodes)
@@ -111,18 +146,17 @@ def sampled_mixing_profile(
         chosen = np.asarray(list(sources), dtype=np.int64)
         if chosen.size == 0:
             raise GraphError("sources must be non-empty")
-    operator = TransitionOperator(graph, lazy=lazy)
-    pi = operator.stationary
-    tvd = np.empty((chosen.size, lengths.size))
-    for row, source in enumerate(chosen):
-        dist = operator.delta(int(source))
-        step = 0
-        for col, target in enumerate(lengths):
-            while step < target:
-                dist = operator.evolve(dist)
-                step += 1
-            tvd[row, col] = total_variation_distance(dist, pi)
-    return MixingProfile(walk_lengths=lengths, sources=np.sort(chosen), tvd=tvd, lazy=lazy)
+    chosen = np.sort(chosen)
+    operator = get_operator(graph, lazy=lazy)
+    if strategy == "batched":
+        tvd = operator.tvd_profile(
+            chosen, lengths, chunk_size=chunk_size, workers=workers
+        )
+    elif strategy == "sequential":
+        tvd = _sequential_tvd(operator, chosen, lengths)
+    else:
+        raise GraphError(f"unknown strategy {strategy!r}")
+    return MixingProfile(walk_lengths=lengths, sources=chosen, tvd=tvd, lazy=lazy)
 
 
 def mixing_time_from_profile(
@@ -155,12 +189,16 @@ def sampled_mixing_time(
     num_sources: int = 100,
     lazy: bool = False,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> int | None:
     """Estimate ``T(eps)`` by the sampling method.
 
     ``epsilon`` defaults to ``1/n``.  Returns None when the chain has
     not mixed within ``max_length`` steps (a slow-mixing verdict at this
-    scale).
+    scale).  ``strategy``/``chunk_size``/``workers`` select the batched
+    walk engine exactly as in :func:`sampled_mixing_profile`.
     """
     eps = 1.0 / graph.num_nodes if epsilon is None else epsilon
     profile = sampled_mixing_profile(
@@ -169,6 +207,9 @@ def sampled_mixing_time(
         num_sources=num_sources,
         lazy=lazy,
         seed=seed,
+        strategy=strategy,
+        chunk_size=chunk_size,
+        workers=workers,
     )
     return mixing_time_from_profile(profile, eps, aggregate="max")
 
@@ -178,14 +219,18 @@ def is_fast_mixing(
     constant: float = 4.0,
     num_sources: int = 50,
     seed: int = 0,
+    strategy: str = "batched",
 ) -> bool:
     """Classify the graph as fast mixing per the O(log n) criterion.
 
     Checks whether the sampled worst-source mixing time at
-    ``eps = 1/n`` is at most ``constant * log2(n)``.
+    ``eps = 1/n`` is at most ``constant * log2(n)``.  The budget is
+    clamped to at least one step so tiny graphs (where
+    ``constant * log2(n)`` truncates to 0) still measure a one-step
+    walk instead of crashing on an empty length grid.
     """
-    budget = int(constant * np.log2(max(graph.num_nodes, 2)))
+    budget = max(1, int(constant * np.log2(max(graph.num_nodes, 2))))
     measured = sampled_mixing_time(
-        graph, max_length=budget, num_sources=num_sources, seed=seed
+        graph, max_length=budget, num_sources=num_sources, seed=seed, strategy=strategy
     )
     return measured is not None

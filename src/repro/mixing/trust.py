@@ -25,8 +25,8 @@ import scipy.sparse as sp
 
 from repro.errors import GraphError
 from repro.graph.core import Graph
-from repro.markov.distance import total_variation_distance
-from repro.markov.transition import transition_matrix
+from repro.markov.batch import batched_tvd_profile, delta_block, evolve_block
+from repro.markov.transition import get_operator
 
 __all__ = [
     "modulated_transition_matrix",
@@ -52,7 +52,7 @@ def modulated_transition_matrix(
         raise GraphError(f"trust must be scalar or an array of length {n}")
     if alphas.min() < 0.0 or alphas.max() >= 1.0:
         raise GraphError("trust values must lie in [0, 1)")
-    base = transition_matrix(graph)
+    base = get_operator(graph).matrix
     move = sp.diags(1.0 - alphas) @ base
     stay = sp.diags(alphas)
     return (move + stay).tocsr()
@@ -100,6 +100,14 @@ class ModulatedOperator:
             dist = self.matrix.T @ dist
         return dist
 
+    def distribution_block(self, sources: np.ndarray | list[int]) -> np.ndarray:
+        """Return the ``(n, s)`` block of delta distributions at ``sources``."""
+        return delta_block(self.graph.num_nodes, sources)
+
+    def evolve_many(self, block: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Advance every column of ``block`` by ``steps`` modulated steps."""
+        return evolve_block(self.matrix, block, steps)
+
 
 def modulated_mixing_profile(
     graph: Graph,
@@ -107,28 +115,27 @@ def modulated_mixing_profile(
     walk_lengths: list[int],
     num_sources: int = 50,
     seed: int = 0,
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Return mean TVD-to-stationary per walk length under modulation.
 
-    The modulated analog of the Figure-1 measurement.
+    The modulated analog of the Figure-1 measurement, run on the
+    batched walk engine (``chunk_size``/``workers`` as in
+    :func:`repro.mixing.sampled_mixing_profile`).
     """
-    lengths = np.asarray(walk_lengths, dtype=np.int64)
-    if lengths.size == 0 or np.any(np.diff(lengths) <= 0):
-        raise GraphError("walk_lengths must be strictly increasing")
     operator = ModulatedOperator.build(graph, trust)
     rng = np.random.default_rng(seed)
     count = min(num_sources, graph.num_nodes)
     sources = rng.choice(graph.num_nodes, size=count, replace=False)
-    tvd = np.zeros((count, lengths.size))
-    for row, source in enumerate(sources):
-        dist = np.zeros(graph.num_nodes)
-        dist[source] = 1.0
-        step = 0
-        for col, target in enumerate(lengths):
-            while step < target:
-                dist = operator.matrix.T @ dist
-                step += 1
-            tvd[row, col] = total_variation_distance(dist, operator.stationary)
+    tvd = batched_tvd_profile(
+        operator.matrix,
+        operator.stationary,
+        sources,
+        walk_lengths,
+        chunk_size=chunk_size,
+        workers=workers,
+    )
     return tvd.mean(axis=0)
 
 

@@ -15,16 +15,28 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.transition import TransitionOperator
+from repro.markov.transition import get_operator
 
 __all__ = [
     "walk_probability_ranking",
+    "walk_probability_rankings",
     "ranking_order",
     "accept_top",
     "ranking_overlap",
     "ranking_correlation",
     "modulated_walk_ranking",
 ]
+
+
+def _default_walk_length(graph: Graph, walk_length: int | None) -> int:
+    length = (
+        max(1, int(np.ceil(np.log2(graph.num_nodes))))
+        if walk_length is None
+        else walk_length
+    )
+    if length < 1:
+        raise SybilDefenseError("walk_length must be positive")
+    return length
 
 
 def walk_probability_ranking(
@@ -40,19 +52,43 @@ def walk_probability_ranking(
     nodes.
     """
     graph._check_node(trusted)
-    length = (
-        max(1, int(np.ceil(np.log2(graph.num_nodes))))
-        if walk_length is None
-        else walk_length
-    )
-    if length < 1:
-        raise SybilDefenseError("walk_length must be positive")
-    operator = TransitionOperator(graph, lazy=lazy)
+    length = _default_walk_length(graph, walk_length)
+    operator = get_operator(graph, lazy=lazy)
     landing = operator.distribution_after(trusted, length)
     degrees = graph.degrees.astype(float)
     scores = np.zeros(graph.num_nodes)
     positive = degrees > 0
     scores[positive] = landing[positive] / degrees[positive]
+    return scores
+
+
+def walk_probability_rankings(
+    graph: Graph,
+    trusted: np.ndarray | list[int],
+    walk_length: int | None = None,
+    lazy: bool = True,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Score nodes from many trusted vantage points in one batched walk.
+
+    Returns a ``(len(trusted), n)`` matrix whose row ``j`` equals
+    ``walk_probability_ranking(graph, trusted[j], ...)`` bit for bit,
+    but all vantage points evolve together as a dense block through the
+    batched walk engine (``chunk_size``/``workers`` as in
+    ``TransitionOperator.evolve_many``).  Used to compare how sensitive
+    a ranking-style defense is to the verified node's position.
+    """
+    length = _default_walk_length(graph, walk_length)
+    operator = get_operator(graph, lazy=lazy)
+    block = operator.distribution_block(trusted)
+    landing = operator.evolve_many(
+        block, steps=length, chunk_size=chunk_size, workers=workers
+    )
+    degrees = graph.degrees.astype(float)
+    scores = np.zeros((block.shape[1], graph.num_nodes))
+    positive = degrees > 0
+    scores[:, positive] = landing.T[:, positive] / degrees[positive]
     return scores
 
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.transition import TransitionOperator
+from repro.markov.transition import get_operator
 
 __all__ = ["SybilRankConfig", "SybilRankResult", "SybilRank"]
 
@@ -69,7 +69,7 @@ class SybilRank:
             raise SybilDefenseError("SybilRank needs at least 3 nodes")
         self._graph = graph
         self._config = config or SybilRankConfig()
-        self._operator = TransitionOperator(graph)
+        self._operator = get_operator(graph)
         self._iterations = self._config.num_iterations or max(
             1, int(np.ceil(np.log2(graph.num_nodes)))
         )

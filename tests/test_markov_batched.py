@@ -1,0 +1,261 @@
+"""Sequential-equivalence tests for the batched multi-source walk engine.
+
+The batched engine must be a pure re-expression of the sequential
+per-source evolution: every test here pins a batched result against the
+one-matvec-at-a-time oracle — across chunk sizes, worker counts,
+lazy/non-lazy chains and graphs with isolated nodes — at ``atol=1e-12``
+(most paths are bit-identical and asserted as such).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.generators import barabasi_albert, path_graph, star_graph
+from repro.graph import Graph
+from repro.markov import (
+    TransitionOperator,
+    batched_tvd_profile,
+    clear_operator_cache,
+    delta_block,
+    evolve_block,
+    get_operator,
+    total_variation_distance,
+)
+from repro.mixing import sampled_mixing_profile
+
+
+@pytest.fixture
+def with_isolated() -> Graph:
+    """A triangle plus two isolated (degree-0, self-absorbing) nodes."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)], num_nodes=5)
+
+
+def _sequential_block(op: TransitionOperator, sources, steps: int) -> np.ndarray:
+    """Oracle: evolve each source independently with single matvecs."""
+    out = np.empty((op.graph.num_nodes, len(sources)))
+    for j, source in enumerate(sources):
+        dist = op.delta(int(source))
+        for _ in range(steps):
+            dist = op.evolve(dist)
+        out[:, j] = dist
+    return out
+
+
+class TestDeltaBlock:
+    def test_columns_are_deltas(self, k5):
+        block = delta_block(5, [0, 2, 4])
+        assert block.shape == (5, 3)
+        for j, source in enumerate([0, 2, 4]):
+            expected = np.zeros(5)
+            expected[source] = 1.0
+            assert np.array_equal(block[:, j], expected)
+
+    def test_duplicate_sources_allowed(self):
+        block = delta_block(4, [1, 1])
+        assert np.array_equal(block[:, 0], block[:, 1])
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(GraphError):
+            delta_block(4, [])
+
+    def test_out_of_range_sources_rejected(self):
+        with pytest.raises(GraphError):
+            delta_block(4, [0, 4])
+        with pytest.raises(GraphError):
+            delta_block(4, [-1])
+
+
+class TestEvolveManyEquivalence:
+    @pytest.mark.parametrize("lazy", [False, True])
+    @pytest.mark.parametrize("steps", [0, 1, 3, 7])
+    def test_matches_sequential_evolve(self, ba_small, lazy, steps):
+        op = TransitionOperator(ba_small, lazy=lazy)
+        sources = list(range(0, ba_small.num_nodes, 17))
+        block = op.distribution_block(sources)
+        batched = op.evolve_many(block, steps=steps)
+        oracle = _sequential_block(op, sources, steps)
+        np.testing.assert_allclose(batched, oracle, atol=1e-12)
+        assert batched.tobytes() == oracle.tobytes()
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 5, 64, 1000])
+    def test_chunk_sizes_equivalent(self, ba_small, chunk_size):
+        op = TransitionOperator(ba_small)
+        sources = list(range(40))
+        oracle = _sequential_block(op, sources, 5)
+        block = op.distribution_block(sources)
+        batched = op.evolve_many(block, steps=5, chunk_size=chunk_size)
+        assert batched.tobytes() == oracle.tobytes()
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_counts_equivalent(self, ba_small, workers):
+        op = TransitionOperator(ba_small)
+        sources = list(range(40))
+        oracle = _sequential_block(op, sources, 5)
+        block = op.distribution_block(sources)
+        batched = op.evolve_many(block, steps=5, chunk_size=7, workers=workers)
+        assert batched.tobytes() == oracle.tobytes()
+
+    def test_isolated_nodes_equivalent(self, with_isolated):
+        op = TransitionOperator(with_isolated)
+        sources = [0, 3, 4]
+        oracle = _sequential_block(op, sources, 4)
+        batched = op.evolve_many(op.distribution_block(sources), steps=4)
+        assert batched.tobytes() == oracle.tobytes()
+        # isolated sources are absorbing: the delta never moves
+        assert np.array_equal(batched[:, 1], op.delta(3))
+
+    def test_preserves_probability_mass(self, ba_small):
+        op = TransitionOperator(ba_small)
+        block = op.distribution_block(list(range(25)))
+        evolved = op.evolve_many(block, steps=10)
+        np.testing.assert_allclose(evolved.sum(axis=0), 1.0, atol=1e-9)
+
+    def test_bad_block_shape_rejected(self, k5):
+        op = TransitionOperator(k5)
+        with pytest.raises(GraphError):
+            op.evolve_many(np.zeros((4, 3)))
+        with pytest.raises(GraphError):
+            op.evolve_many(np.zeros(5))
+
+    def test_negative_steps_rejected(self, k5):
+        op = TransitionOperator(k5)
+        with pytest.raises(GraphError):
+            op.evolve_many(op.distribution_block([0]), steps=-1)
+
+    def test_bad_chunk_and_workers_rejected(self, k5):
+        op = TransitionOperator(k5)
+        block = op.distribution_block([0, 1])
+        with pytest.raises(GraphError):
+            op.evolve_many(block, steps=1, chunk_size=0)
+        with pytest.raises(GraphError):
+            op.evolve_many(block, steps=1, workers=0)
+
+    def test_evolve_block_function_matches_method(self, ba_small):
+        op = TransitionOperator(ba_small)
+        block = op.distribution_block([0, 1, 2])
+        assert np.array_equal(
+            evolve_block(op.matrix, block, 3), op.evolve_many(block, steps=3)
+        )
+
+
+class TestBatchedTvdProfile:
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3, 100])
+    def test_matches_sequential_tvd(self, ba_small, chunk_size):
+        op = TransitionOperator(ba_small)
+        sources = list(range(0, ba_small.num_nodes, 23))
+        lengths = [0, 1, 2, 4, 8, 16]
+        tvd = batched_tvd_profile(
+            op.matrix, op.stationary, sources, lengths, chunk_size=chunk_size
+        )
+        for j, source in enumerate(sources):
+            dist = op.delta(source)
+            step = 0
+            for col, target in enumerate(lengths):
+                for _ in range(target - step):
+                    dist = op.evolve(dist)
+                step = target
+                expected = total_variation_distance(dist, op.stationary)
+                assert tvd[j, col] == expected
+
+    def test_walk_length_zero_is_delta_tvd(self, k5):
+        op = TransitionOperator(k5)
+        tvd = batched_tvd_profile(op.matrix, op.stationary, [0], [0])
+        expected = total_variation_distance(op.delta(0), op.stationary)
+        assert tvd[0, 0] == expected
+
+    def test_invalid_lengths_rejected(self, k5):
+        op = TransitionOperator(k5)
+        for bad in ([], [-1, 2], [3, 1], [2, 2]):
+            with pytest.raises(GraphError):
+                batched_tvd_profile(op.matrix, op.stationary, [0], bad)
+
+
+class TestStrategyEquivalence:
+    """sampled_mixing_profile(batched) against the sequential oracle."""
+
+    GRAPHS = {
+        "ba": lambda: barabasi_albert(150, 3, seed=1),
+        "path": lambda: path_graph(30),
+        "star": lambda: star_graph(20),
+        "isolated": lambda: Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4)], num_nodes=6
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("lazy", [False, True])
+    def test_tvd_matrix_identical(self, name, lazy):
+        graph = self.GRAPHS[name]()
+        lengths = [0, 1, 2, 3, 5, 8]
+        kwargs = dict(walk_lengths=lengths, num_sources=12, lazy=lazy, seed=9)
+        seq = sampled_mixing_profile(graph, strategy="sequential", **kwargs)
+        bat = sampled_mixing_profile(graph, strategy="batched", **kwargs)
+        assert np.array_equal(seq.sources, bat.sources)
+        np.testing.assert_allclose(bat.tvd, seq.tvd, atol=1e-12)
+        assert bat.tvd.tobytes() == seq.tvd.tobytes()
+
+    @pytest.mark.parametrize("chunk_size,workers", [(1, None), (5, None), (4, 2), (3, 4)])
+    def test_chunked_and_threaded_identical(self, ba_small, chunk_size, workers):
+        kwargs = dict(walk_lengths=[1, 2, 4, 8], num_sources=30, seed=2)
+        seq = sampled_mixing_profile(ba_small, strategy="sequential", **kwargs)
+        bat = sampled_mixing_profile(
+            ba_small,
+            strategy="batched",
+            chunk_size=chunk_size,
+            workers=workers,
+            **kwargs,
+        )
+        assert bat.tvd.tobytes() == seq.tvd.tobytes()
+
+    def test_rows_align_with_sorted_sources(self, ba_small):
+        """tvd rows must follow the (sorted) sources attribute even when
+        explicit sources arrive unsorted."""
+        lengths = [1, 3]
+        unsorted = [42, 7, 99]
+        profile = sampled_mixing_profile(ba_small, lengths, sources=unsorted)
+        assert np.array_equal(profile.sources, [7, 42, 99])
+        op = TransitionOperator(ba_small)
+        for row, source in enumerate(profile.sources):
+            dist = op.distribution_after(int(source), 1)
+            assert profile.tvd[row, 0] == total_variation_distance(
+                dist, op.stationary
+            )
+
+
+class TestOperatorCache:
+    def test_same_object_returned(self, ba_small):
+        clear_operator_cache()
+        first = get_operator(ba_small)
+        second = get_operator(ba_small)
+        assert first is second
+
+    def test_content_keyed_across_equal_graphs(self):
+        clear_operator_cache()
+        a = path_graph(10)
+        b = path_graph(10)
+        assert a is not b
+        assert get_operator(a) is get_operator(b)
+
+    def test_lazy_cached_separately(self, ba_small):
+        clear_operator_cache()
+        assert get_operator(ba_small) is not get_operator(ba_small, lazy=True)
+        assert get_operator(ba_small, lazy=True).lazy
+
+    def test_clear_drops_entries(self, ba_small):
+        clear_operator_cache()
+        first = get_operator(ba_small)
+        clear_operator_cache()
+        assert get_operator(ba_small) is not first
+
+    def test_lru_evicts_oldest(self):
+        from repro.markov.transition import _OPERATOR_CACHE_SIZE
+
+        clear_operator_cache()
+        graphs = [path_graph(5 + i) for i in range(_OPERATOR_CACHE_SIZE + 1)]
+        first = get_operator(graphs[0])
+        for graph in graphs[1:]:
+            get_operator(graph)
+        assert get_operator(graphs[0]) is not first

@@ -14,7 +14,13 @@ import pytest
 
 from repro.community import greedy_modularity, label_propagation, modularity
 from repro.cores import core_decomposition
-from repro.generators import erdos_renyi_gnm
+from repro.generators import (
+    barbell_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+    path_graph,
+    star_graph,
+)
 from repro.graph import (
     Graph,
     average_clustering,
@@ -24,7 +30,8 @@ from repro.graph import (
     global_clustering,
     num_connected_components,
 )
-from repro.mixing import slem
+from repro.markov import TransitionOperator
+from repro.mixing import sampled_mixing_profile, slem
 
 
 def _random_pair(num_nodes: int, num_edges: int, seed: int):
@@ -126,6 +133,46 @@ class TestModularityOracle:
         their_partition = nx.community.greedy_modularity_communities(theirs)
         their_q = nx.community.modularity(theirs, their_partition)
         assert our_q > their_q - 0.1
+
+
+class TestBatchedWalkOracle:
+    """Batched t-step distributions against dense P^t rows derived from
+    the networkx adjacency matrix on small named graphs."""
+
+    GRAPHS = {
+        "path": (path_graph(9), nx.path_graph(9)),
+        "cycle": (cycle_graph(8), nx.cycle_graph(8)),
+        "barbell": (barbell_graph(5, 2), nx.barbell_graph(5, 2)),
+        "star": (star_graph(7), nx.star_graph(7)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("steps", [0, 1, 2, 5, 9])
+    def test_block_matches_dense_power(self, name, steps):
+        ours, theirs = self.GRAPHS[name]
+        A = np.asarray(nx.adjacency_matrix(theirs, nodelist=range(ours.num_nodes)).todense(), dtype=float)
+        P = A / A.sum(axis=1, keepdims=True)
+        Pt = np.linalg.matrix_power(P, steps)
+        op = TransitionOperator(ours)
+        sources = list(range(ours.num_nodes))
+        block = op.evolve_many(op.distribution_block(sources), steps=steps)
+        # column j of the block is row sources[j] of P^t
+        np.testing.assert_allclose(block.T, Pt, atol=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_tvd_profile_matches_dense_power(self, name):
+        ours, theirs = self.GRAPHS[name]
+        A = np.asarray(nx.adjacency_matrix(theirs, nodelist=range(ours.num_nodes)).todense(), dtype=float)
+        P = A / A.sum(axis=1, keepdims=True)
+        pi = A.sum(axis=1) / A.sum()
+        lengths = [0, 1, 3, 6]
+        profile = sampled_mixing_profile(
+            ours, walk_lengths=lengths, sources=list(range(ours.num_nodes))
+        )
+        for col, t in enumerate(lengths):
+            Pt = np.linalg.matrix_power(P, t)
+            expected = 0.5 * np.abs(Pt - pi).sum(axis=1)
+            np.testing.assert_allclose(profile.tvd[:, col], expected, atol=1e-12)
 
 
 class TestSpectralOracle:

@@ -12,6 +12,7 @@ from repro.markov import (
     kl_divergence,
     total_variation_distance,
 )
+from repro.mixing import sampled_mixing_profile
 
 
 @st.composite
@@ -109,3 +110,47 @@ class TestChainInvariants:
             current = total_variation_distance(dist, op.stationary)
             assert current <= previous + 1e-10
             previous = current
+
+
+class TestBatchedSequentialEquivalence:
+    """The batched walk engine is byte-identical to the sequential oracle
+    on arbitrary connected graphs — not just approximately equal."""
+
+    @given(
+        connected_graphs(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_profile_statistics_byte_identical(self, g, seed, lazy):
+        lengths = [0, 1, 2, 3, 5, 8]
+        kwargs = dict(
+            walk_lengths=lengths,
+            num_sources=min(8, g.num_nodes),
+            lazy=lazy,
+            seed=seed,
+        )
+        seq = sampled_mixing_profile(g, strategy="sequential", **kwargs)
+        bat = sampled_mixing_profile(g, strategy="batched", **kwargs)
+        assert np.array_equal(seq.sources, bat.sources)
+        assert np.array_equal(seq.walk_lengths, bat.walk_lengths)
+        assert bat.tvd.tobytes() == seq.tvd.tobytes()
+        assert bat.mean.tobytes() == seq.mean.tobytes()
+        assert bat.max.tobytes() == seq.max.tobytes()
+        assert bat.min.tobytes() == seq.min.tobytes()
+        assert bat.percentile(25).tobytes() == seq.percentile(25).tobytes()
+        assert bat.percentile(90).tobytes() == seq.percentile(90).tobytes()
+
+    @given(
+        connected_graphs(),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_and_workers_byte_identical(self, g, chunk_size, workers):
+        kwargs = dict(walk_lengths=[1, 2, 4], num_sources=min(6, g.num_nodes), seed=0)
+        seq = sampled_mixing_profile(g, strategy="sequential", **kwargs)
+        bat = sampled_mixing_profile(
+            g, strategy="batched", chunk_size=chunk_size, workers=workers, **kwargs
+        )
+        assert bat.tvd.tobytes() == seq.tvd.tobytes()

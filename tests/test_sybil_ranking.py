@@ -14,6 +14,7 @@ from repro.sybil import (
     ranking_overlap,
     standard_attack,
     walk_probability_ranking,
+    walk_probability_rankings,
 )
 
 
@@ -133,3 +134,30 @@ class TestModulatedRanking:
         attack, _ = ranked_attack
         with pytest.raises(SybilDefenseError):
             modulated_walk_ranking(attack.graph, 0, 0.2, walk_length=0)
+
+
+class TestBatchedRankings:
+    """walk_probability_rankings is the batched form of the singular."""
+
+    def test_rows_match_single_source_rankings(self, ranked_attack):
+        attack, _ = ranked_attack
+        trusted = [0, 3, 11]
+        batched = walk_probability_rankings(attack.graph, trusted)
+        assert batched.shape == (3, attack.graph.num_nodes)
+        for row, node in enumerate(trusted):
+            single = walk_probability_ranking(attack.graph, node)
+            assert batched[row].tobytes() == single.tobytes()
+
+    def test_chunked_and_threaded_match(self, ranked_attack):
+        attack, _ = ranked_attack
+        trusted = list(range(10))
+        plain = walk_probability_rankings(attack.graph, trusted)
+        chunked = walk_probability_rankings(
+            attack.graph, trusted, chunk_size=3, workers=2
+        )
+        assert plain.tobytes() == chunked.tobytes()
+
+    def test_walk_length_validated(self, ranked_attack):
+        attack, _ = ranked_attack
+        with pytest.raises(SybilDefenseError):
+            walk_probability_rankings(attack.graph, [0], walk_length=0)
