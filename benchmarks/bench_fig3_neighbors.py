@@ -8,6 +8,8 @@ narrows at large |S|.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from conftest import publish
 
@@ -28,8 +30,10 @@ DATASETS = [
 CHECKPOINTS = [0.01, 0.05, 0.1, 0.25, 0.5, 0.75]
 
 
-def _run(scale, num_sources):
-    return figure3_expansion_summaries(DATASETS, num_sources=num_sources, scale=scale)
+def _run(scale, num_sources, strategy="batched"):
+    return figure3_expansion_summaries(
+        DATASETS, num_sources=num_sources, scale=scale, strategy=strategy
+    )
 
 
 def test_fig3(benchmark, results_dir, scale, num_sources):
@@ -80,3 +84,42 @@ def test_fig3_band_narrows(benchmark, results_dir, scale, num_sources):
     spread_small = (summary.maximum[small] - summary.minimum[small]).mean()
     spread_large = (summary.maximum[large] - summary.minimum[large]).mean()
     assert spread_large < spread_small
+
+
+def test_fig3_engine_speedup(results_dir, scale, num_sources):
+    """Wall-clock the batched BFS engine against the per-source oracle
+    on the full Figure-3 workload and record both timings.
+
+    The datasets are warmed first so both strategies time only the
+    envelope measurement itself.
+    """
+    _run(scale, 1)  # warm the dataset cache
+    timings = {}
+    summaries = {}
+    for strategy in ("sequential", "batched"):
+        start = time.perf_counter()
+        summaries[strategy] = _run(scale, num_sources, strategy=strategy)
+        timings[strategy] = time.perf_counter() - start
+    speedup = timings["sequential"] / timings["batched"]
+    rows = [
+        ["sequential", f"{timings['sequential']:.3f}", "1.00x"],
+        ["batched", f"{timings['batched']:.3f}", f"{speedup:.2f}x"],
+    ]
+    rendered = format_table(
+        ["strategy", "wall-clock (s)", "speedup"],
+        rows,
+        title=(
+            f"Figure 3 engine — batched vs sequential block BFS "
+            f"(scale={scale}, {num_sources} cores, {len(DATASETS)} datasets)"
+        ),
+    )
+    publish(results_dir, "fig3_engine_speedup", rendered)
+    # equivalence: byte-identical Figure-3 aggregates, dataset by dataset
+    for name in DATASETS:
+        bat, seq = summaries["batched"][name], summaries["sequential"][name]
+        assert bat.set_sizes.tobytes() == seq.set_sizes.tobytes(), name
+        assert bat.minimum.tobytes() == seq.minimum.tobytes(), name
+        assert bat.mean.tobytes() == seq.mean.tobytes(), name
+        assert bat.maximum.tobytes() == seq.maximum.tobytes(), name
+        assert bat.count.tobytes() == seq.count.tobytes(), name
+    assert speedup > 1.0

@@ -153,16 +153,28 @@ def figure3_expansion_summaries(
     num_sources: int | None = None,
     scale: float = 1.0,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> dict[str, ExpansionSummary]:
     """Measure Figure 3: min/mean/max |N(S)| per unique |S| per analog.
 
     ``num_sources=None`` uses every node as a core exactly as the paper
     does; pass a count to sample sources on the larger analogs.
+    ``strategy``/``chunk_size``/``workers`` select the BFS engine as in
+    :func:`repro.expansion.envelope_expansion`.
     """
     out = {}
     for name in datasets:
         graph = load_dataset(name, scale=scale, seed=seed)
-        measurement = envelope_expansion(graph, num_sources=num_sources, seed=seed)
+        measurement = envelope_expansion(
+            graph,
+            num_sources=num_sources,
+            seed=seed,
+            strategy=strategy,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
         out[name] = aggregate_by_set_size(measurement)
     return out
 
@@ -172,12 +184,22 @@ def figure4_expansion_factors(
     num_sources: int | None = None,
     scale: float = 1.0,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
     """Measure Figure 4: expected expansion factor vs |S| per analog."""
     out = {}
     for name in datasets:
         graph = load_dataset(name, scale=scale, seed=seed)
-        measurement = envelope_expansion(graph, num_sources=num_sources, seed=seed)
+        measurement = envelope_expansion(
+            graph,
+            num_sources=num_sources,
+            seed=seed,
+            strategy=strategy,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
         out[name] = expansion_factor_series(measurement)
     return out
 

@@ -35,8 +35,16 @@ def measurement_report(
     name: str = "graph",
     num_sources: int = 50,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> str:
-    """Return a markdown report of every paper-relevant property."""
+    """Return a markdown report of every paper-relevant property.
+
+    ``strategy``/``chunk_size``/``workers`` select the BFS engine for
+    the expansion measurement, as in
+    :func:`repro.expansion.envelope_expansion`.
+    """
     if graph.num_nodes < 3 or graph.num_edges < 2:
         raise GraphError("the report needs a graph with a few nodes and edges")
     lines: list[str] = [f"# Measurement report — {name}", ""]
@@ -88,7 +96,12 @@ def measurement_report(
     ]
 
     measurement = envelope_expansion(
-        graph, num_sources=min(num_sources, graph.num_nodes), seed=seed
+        graph,
+        num_sources=min(num_sources, graph.num_nodes),
+        seed=seed,
+        strategy=strategy,
+        chunk_size=chunk_size,
+        workers=workers,
     )
     small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
     alpha_small = (

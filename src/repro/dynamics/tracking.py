@@ -43,12 +43,16 @@ def track_evolution(
     graph_sequence: Iterable[Graph],
     expansion_sources: int = 30,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> list[SnapshotMetrics]:
     """Measure every snapshot in an evolution sequence.
 
     Expansion is summarized as the mean expansion factor over envelopes
     of at most n/10 nodes (the regime Figures 3-4 show is
-    discriminative).
+    discriminative).  ``strategy``/``chunk_size``/``workers`` pass
+    through to :func:`repro.expansion.envelope_expansion`.
     """
     out: list[SnapshotMetrics] = []
     for step, graph in enumerate(graph_sequence):
@@ -56,7 +60,12 @@ def track_evolution(
             raise GraphError(f"snapshot {step} is too small to measure")
         structure = core_structure(graph)
         measurement = envelope_expansion(
-            graph, num_sources=min(expansion_sources, graph.num_nodes), seed=seed
+            graph,
+            num_sources=min(expansion_sources, graph.num_nodes),
+            seed=seed,
+            strategy=strategy,
+            chunk_size=chunk_size,
+            workers=workers,
         )
         small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
         factors = measurement.expansion_factors[small]

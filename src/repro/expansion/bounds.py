@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.expansion.envelope import source_expansion
 from repro.graph.core import Graph
+from repro.graph.traversal import _gather_neighbors
 from repro.mixing.spectral import normalized_adjacency
 
 __all__ = [
@@ -34,14 +35,19 @@ __all__ = [
 
 
 def neighborhood_size(graph: Graph, nodes: np.ndarray) -> int:
-    """Return ``|N(S)|``: nodes outside S adjacent to S."""
+    """Return ``|N(S)|``: nodes outside S adjacent to S.
+
+    One CSR gather over the whole member set (duplicates and all)
+    replaces the per-member neighbor loop; the boolean scatter then
+    dedupes, so no sort or unique pass is needed.
+    """
     members = np.zeros(graph.num_nodes, dtype=bool)
     members[nodes] = True
+    gathered = _gather_neighbors(
+        graph.indptr, graph.indices, np.flatnonzero(members).astype(np.int64)
+    )
     seen = np.zeros(graph.num_nodes, dtype=bool)
-    indptr, indices = graph.indptr, graph.indices
-    for v in np.flatnonzero(members):
-        nbrs = indices[indptr[v] : indptr[v + 1]]
-        seen[nbrs] = True
+    seen[gathered] = True
     return int(np.count_nonzero(seen & ~members))
 
 

@@ -16,6 +16,7 @@ from repro.graph.metrics import (
     degree_histogram,
     density,
     diameter,
+    eccentricities,
     eccentricity,
     global_clustering,
     local_clustering,
@@ -30,6 +31,8 @@ from repro.graph.ops import (
 )
 from repro.graph.traversal import (
     bfs_distances,
+    bfs_distances_block,
+    bfs_level_sizes_block,
     bfs_levels,
     component_sizes,
     connected_components,
@@ -45,6 +48,8 @@ __all__ = [
     "write_edge_list",
     "bfs_distances",
     "bfs_levels",
+    "bfs_distances_block",
+    "bfs_level_sizes_block",
     "connected_components",
     "component_sizes",
     "num_connected_components",
@@ -60,6 +65,7 @@ __all__ = [
     "degree_histogram",
     "density",
     "eccentricity",
+    "eccentricities",
     "diameter",
     "approximate_diameter",
     "local_clustering",

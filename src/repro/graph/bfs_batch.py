@@ -1,0 +1,208 @@
+"""Batched multi-source BFS (the hot path of Figures 3-4 and Table II).
+
+The expansion measurement (Section III-D, Eq. 4) builds a BFS tree from
+*every* node, eccentricity/diameter and closeness run a BFS per node,
+and the ticket-distribution defenses (GateKeeper, SumUp) need per-source
+distance levels for every distributor.  Running those one
+:func:`~repro.graph.traversal.bfs_distances` call at a time repeats the
+frontier bookkeeping per source; this engine advances a whole *block* of
+sources level-synchronously instead.
+
+State is an ``(n, s)`` boolean visited block plus an ``(n, s)`` frontier
+indicator block.  Each level performs **one CSR operation for the entire
+block**: the sparse adjacency matrix multiplies the dense frontier
+block, so every frontier neighbor of every column is touched in a single
+C-level pass over the CSR arrays, then masked against the visited block
+to become the next frontier.  A per-source frontier gather would move
+the same elements through a dozen interpreted numpy kernels per level
+per source; the matmul pays that traversal once per level for the whole
+block, which is where the engine's speedup comes from.
+
+Outputs never materialize per-level node lists:
+
+* :func:`bfs_level_sizes_block` returns the ``(s, L)`` matrix of
+  ``|L_i|`` level sizes (zero-padded past each source's eccentricity) —
+  exactly the quantity Eq. 4 consumes.
+* :func:`bfs_distances_block` returns the ``(s, n)`` hop-distance matrix
+  (``-1`` for unreachable), row ``j`` byte-identical to
+  ``bfs_distances(graph, sources[j])``.
+
+Both take ``chunk_size`` (memory bound ``O(n * chunk_size)``) and
+``workers`` (thread fan-out over source chunks) with the exact semantics
+of the PR-1 walk engine (:mod:`repro.markov.batch`); the chunk planner
+and runner are shared via :mod:`repro.chunking`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+__all__ = [
+    "bfs_level_sizes_block",
+    "bfs_distances_block",
+    "validate_sources",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+_UNREACHED = -1
+
+
+def validate_sources(
+    num_nodes: int, sources: np.ndarray | Sequence[int]
+) -> np.ndarray:
+    """Validate and return BFS sources as an int64 array.
+
+    Duplicate sources are allowed (each gets its own row of the result);
+    empty or out-of-range source lists raise
+    :class:`~repro.errors.GraphError` up front.
+    """
+    chosen = np.asarray(list(sources), dtype=np.int64)
+    if chosen.size == 0:
+        raise GraphError("sources must be non-empty")
+    if chosen.min() < 0 or chosen.max() >= num_nodes:
+        raise GraphError(f"sources must be node ids in [0, {num_nodes})")
+    return chosen
+
+
+def _adjacency_operator(graph: Graph) -> sp.csr_matrix:
+    """The graph's CSR adjacency with unit float32 weights.
+
+    Built once per engine call and shared (read-only) across chunks; the
+    index arrays are the graph's own, only the unit data is allocated.
+    float32 frontier counts stay exact up to degree 2**24.
+    """
+    n = graph.num_nodes
+    return sp.csr_matrix(
+        (
+            np.ones(graph.indices.size, dtype=np.float32),
+            graph.indices,
+            graph.indptr,
+        ),
+        shape=(n, n),
+    )
+
+
+def _bfs_chunk(
+    adjacency: sp.csr_matrix,
+    num_nodes: int,
+    sources: np.ndarray,
+    max_levels: int | None,
+    distances: np.ndarray | None,
+) -> np.ndarray:
+    """Level-synchronous BFS over one column chunk.
+
+    Returns the ``(s, L)`` level-size matrix for the chunk (``L`` is the
+    chunk's deepest eccentricity + 1, capped at ``max_levels + 1``); when
+    ``distances`` (an ``(s, n)`` view pre-filled with ``-1``) is given,
+    hop distances are recorded as levels settle.
+    """
+    s = sources.size
+    columns = np.arange(s, dtype=np.int64)
+    frontier = np.zeros((num_nodes, s), dtype=np.float32)
+    frontier[sources, columns] = 1.0
+    visited = frontier > 0
+    if distances is not None:
+        distances[columns, sources] = 0
+    counts = [np.ones(s, dtype=np.int64)]  # level 0: the sources themselves
+    level = 0
+    while max_levels is None or level < max_levels:
+        level += 1
+        # one CSR pass for the whole block: the sparse adjacency times
+        # the dense frontier indicator counts, per (node, column), how
+        # many frontier neighbors that node has in that column
+        fresh = adjacency.dot(frontier) > 0
+        fresh &= ~visited
+        per_column = fresh.sum(axis=0).astype(np.int64)
+        if not per_column.any():
+            break
+        visited |= fresh
+        if distances is not None:
+            distances[fresh.T] = level
+        counts.append(per_column)
+        frontier = fresh.astype(np.float32)
+    return np.stack(counts, axis=1)
+
+
+def bfs_level_sizes_block(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    max_levels: int | None = None,
+) -> np.ndarray:
+    """Return the ``(len(sources), L)`` matrix of BFS level sizes.
+
+    ``out[j, i]`` is ``|L_i|``, the number of nodes at hop distance
+    exactly ``i`` from ``sources[j]``; entries past source ``j``'s
+    eccentricity are zero (level sets are contiguous, so the first zero
+    in a row marks its end).  ``L`` is the deepest measured level + 1
+    over all sources.  Row ``j`` equals
+    ``[len(l) for l in bfs_levels(graph, sources[j])]`` padded with
+    zeros — pinned byte-identical by the equivalence suite.
+
+    ``max_levels`` stops every BFS after that many levels beyond the
+    source (the envelope measurement's ``max_radius`` bound), saving the
+    deep tail entirely instead of discarding it afterwards.
+    ``chunk_size`` bounds memory at ``O(n * chunk_size)`` booleans;
+    ``workers`` fans independent chunks over a thread pool.
+    """
+    chosen = validate_sources(graph.num_nodes, sources)
+    if max_levels is not None and max_levels < 0:
+        raise GraphError("max_levels must be non-negative")
+    chunks = resolve_chunks(chosen.size, chunk_size, workers)
+    chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
+    adjacency = _adjacency_operator(graph)
+    results: list[np.ndarray | None] = [None] * len(chunks)
+
+    def run_chunk(columns: slice) -> None:
+        results[chunk_index[(columns.start, columns.stop)]] = _bfs_chunk(
+            adjacency, graph.num_nodes, chosen[columns], max_levels, None
+        )
+
+    run_chunks(run_chunk, chunks, workers)
+    blocks = [block for block in results if block is not None]
+    width = max(block.shape[1] for block in blocks)
+    out = np.zeros((chosen.size, width), dtype=np.int64)
+    for columns, block in zip(chunks, blocks):
+        out[columns, : block.shape[1]] = block
+    return out
+
+
+def bfs_distances_block(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Return the ``(len(sources), n)`` hop-distance matrix.
+
+    Row ``j`` is byte-identical to ``bfs_distances(graph, sources[j])``:
+    hop distances from ``sources[j]``, ``-1`` for unreachable nodes.
+    ``chunk_size`` / ``workers`` behave as in
+    :func:`bfs_level_sizes_block`; note the output itself is
+    ``O(n * len(sources))``, so chunking bounds only the *extra* working
+    set.
+    """
+    chosen = validate_sources(graph.num_nodes, sources)
+    chunks = resolve_chunks(chosen.size, chunk_size, workers)
+    adjacency = _adjacency_operator(graph)
+    out = np.full((chosen.size, graph.num_nodes), _UNREACHED, dtype=np.int64)
+
+    def run_chunk(columns: slice) -> None:
+        _bfs_chunk(
+            adjacency,
+            graph.num_nodes,
+            chosen[columns],
+            None,
+            out[columns],
+        )
+
+    run_chunks(run_chunk, chunks, workers)
+    return out

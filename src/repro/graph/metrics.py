@@ -9,15 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import EmptyGraphError
+from repro.errors import EmptyGraphError, GraphError
 from repro.graph.core import Graph
-from repro.graph.traversal import bfs_distances
+from repro.graph.traversal import bfs_distances, bfs_level_sizes_block
 
 __all__ = [
     "average_degree",
     "degree_histogram",
     "density",
     "eccentricity",
+    "eccentricities",
     "diameter",
     "approximate_diameter",
     "local_clustering",
@@ -56,16 +57,61 @@ def eccentricity(graph: Graph, node: int) -> int:
     return int(reached.max())
 
 
-def diameter(graph: Graph) -> int:
+def eccentricities(
+    graph: Graph,
+    sources: np.ndarray | list[int] | None = None,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Return per-source eccentricities (all nodes by default).
+
+    ``strategy="batched"`` (default) derives every eccentricity from one
+    block-BFS level-size matrix (a source's eccentricity is its deepest
+    nonempty level); ``"sequential"`` runs :func:`eccentricity` per
+    source.  Both agree exactly.
+    """
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("eccentricity of an empty graph is undefined")
+    chosen = (
+        np.arange(graph.num_nodes, dtype=np.int64)
+        if sources is None
+        else np.asarray(list(sources), dtype=np.int64)
+    )
+    if strategy == "sequential":
+        return np.array(
+            [eccentricity(graph, int(v)) for v in chosen], dtype=np.int64
+        )
+    if strategy != "batched":
+        raise GraphError(f"unknown strategy {strategy!r}")
+    level_sizes = bfs_level_sizes_block(
+        graph, chosen, chunk_size=chunk_size, workers=workers
+    )
+    # a source's eccentricity is the index of its last nonempty level
+    return (level_sizes > 0).cumsum(axis=1).argmax(axis=1).astype(np.int64)
+
+
+def diameter(
+    graph: Graph,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> int:
     """Return the exact diameter of the graph's reachable pairs.
 
-    Runs a BFS per node, so use :func:`approximate_diameter` for graphs
-    beyond a few thousand nodes.  Disconnected pairs are ignored (the
-    result is the max eccentricity over all nodes within components).
+    Runs a BFS per node — batched through the block engine by default
+    (``strategy="sequential"`` keeps the per-node oracle).  Use
+    :func:`approximate_diameter` for graphs beyond a few thousand nodes.
+    Disconnected pairs are ignored (the result is the max eccentricity
+    over all nodes within components).
     """
     if graph.num_nodes == 0:
         raise EmptyGraphError("diameter of an empty graph is undefined")
-    return max(eccentricity(graph, v) for v in range(graph.num_nodes))
+    return int(
+        eccentricities(
+            graph, strategy=strategy, chunk_size=chunk_size, workers=workers
+        ).max()
+    )
 
 
 def approximate_diameter(graph: Graph, num_sweeps: int = 4, seed: int = 0) -> int:

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.bfs_batch import bfs_distances_block, bfs_level_sizes_block
 from repro.graph.core import Graph
 
 __all__ = [
     "bfs_distances",
     "bfs_levels",
+    "bfs_distances_block",
+    "bfs_level_sizes_block",
     "connected_components",
     "component_sizes",
     "num_connected_components",

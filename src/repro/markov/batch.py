@@ -29,12 +29,12 @@ spend their time in BLAS-like loops.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 
 __all__ = [
@@ -42,12 +42,8 @@ __all__ = [
     "evolve_block",
     "batched_tvd_profile",
     "validate_walk_lengths",
+    "DEFAULT_CHUNK_SIZE",
 ]
-
-#: Default number of source columns evolved per chunk.  Bounds the dense
-#: working set at ``8 * n * 128`` bytes (~1 MB per thousand nodes) while
-#: keeping the sparse structure amortized over many columns.
-DEFAULT_CHUNK_SIZE = 128
 
 
 def validate_walk_lengths(walk_lengths: np.ndarray | Sequence[int]) -> np.ndarray:
@@ -106,23 +102,6 @@ def evolve_block(
     return out
 
 
-def _resolve_chunks(
-    num_sources: int, chunk_size: int | None, workers: int | None
-) -> list[slice]:
-    """Split ``num_sources`` columns into contiguous chunk slices."""
-    if chunk_size is None:
-        size = DEFAULT_CHUNK_SIZE
-        if workers is not None and workers > 1:
-            # Spread the sources across the pool when the default chunk
-            # would leave workers idle.
-            size = min(size, -(-num_sources // workers))
-    else:
-        size = int(chunk_size)
-    if size < 1:
-        raise GraphError("chunk_size must be positive")
-    return [slice(lo, min(lo + size, num_sources)) for lo in range(0, num_sources, size)]
-
-
 def _tvd_rows(block: np.ndarray, stationary: np.ndarray) -> np.ndarray:
     """Per-column TVD to ``stationary``; bit-identical to the 1-D path.
 
@@ -156,7 +135,7 @@ def batched_tvd_profile(
     n = matrix.shape[0]
     full_block = delta_block(n, chosen)
     tvd = np.empty((chosen.size, lengths.size))
-    chunks = _resolve_chunks(chosen.size, chunk_size, workers)
+    chunks = resolve_chunks(chosen.size, chunk_size, workers)
     transposed = matrix.T
 
     def run_chunk(columns: slice) -> None:
@@ -168,20 +147,5 @@ def batched_tvd_profile(
             step = int(target)
             tvd[columns, col] = _tvd_rows(block, stationary)
 
-    _run_chunks(run_chunk, chunks, workers)
+    run_chunks(run_chunk, chunks, workers)
     return tvd
-
-
-def _run_chunks(
-    run_chunk: Callable[[slice], None], chunks: list[slice], workers: int | None
-) -> None:
-    """Execute chunk jobs inline or on a bounded thread pool."""
-    if workers is not None and workers < 1:
-        raise GraphError("workers must be positive")
-    if workers is None or workers == 1 or len(chunks) == 1:
-        for columns in chunks:
-            run_chunk(columns)
-        return
-    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
-        # list() re-raises the first chunk failure, if any.
-        list(pool.map(run_chunk, chunks))

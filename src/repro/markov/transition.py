@@ -173,7 +173,7 @@ class TransitionOperator:
         columns at a time; ``workers`` fans independent chunks out over
         a thread pool.
         """
-        from repro.markov.batch import _resolve_chunks, _run_chunks
+        from repro.chunking import resolve_chunks, run_chunks
 
         dense = np.asarray(block, dtype=float)
         n = self._graph.num_nodes
@@ -182,12 +182,12 @@ class TransitionOperator:
         if chunk_size is None and workers is None:
             return evolve_block(self._matrix, dense, steps)
         out = np.empty_like(dense)
-        chunks = _resolve_chunks(dense.shape[1], chunk_size, workers)
+        chunks = resolve_chunks(dense.shape[1], chunk_size, workers)
 
         def run_chunk(columns: slice) -> None:
             out[:, columns] = evolve_block(self._matrix, dense[:, columns], steps)
 
-        _run_chunks(run_chunk, chunks, workers)
+        run_chunks(run_chunk, chunks, workers)
         return out
 
     def tvd_profile(

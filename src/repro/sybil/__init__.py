@@ -33,8 +33,10 @@ from repro.sybil.sybilinfer import SybilInfer, SybilInferConfig, SybilInferResul
 from repro.sybil.sybillimit import SybilLimit, SybilLimitConfig
 from repro.sybil.tickets import (
     TicketDistribution,
+    TicketPlan,
     adaptive_ticket_count,
     distribute_tickets,
+    ticket_plans,
 )
 
 __all__ = [
@@ -47,6 +49,8 @@ __all__ = [
     "measure_escape",
     "exact_escape_probability",
     "TicketDistribution",
+    "TicketPlan",
+    "ticket_plans",
     "distribute_tickets",
     "adaptive_ticket_count",
     "GateKeeper",

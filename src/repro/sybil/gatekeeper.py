@@ -29,7 +29,11 @@ import numpy as np
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
 from repro.markov.walks import random_walk
-from repro.sybil.tickets import TicketDistribution, adaptive_ticket_count
+from repro.sybil.tickets import (
+    TicketDistribution,
+    adaptive_ticket_count,
+    ticket_plans,
+)
 
 __all__ = ["GateKeeperConfig", "GateKeeperResult", "GateKeeper"]
 
@@ -149,9 +153,31 @@ class GateKeeper:
         self._distribution_cache[distributor] = result
         return result
 
+    def _warm_distributions(self, distributors: np.ndarray) -> None:
+        """Run all missing distributors' BFS as one block.
+
+        Walk endpoints repeat (and controllers share distributors), so
+        only cache misses are batched; their plans come from one
+        :func:`repro.sybil.ticket_plans` call and the adaptive doublings
+        then reuse each plan's scaffolding.
+        """
+        missing = [
+            d
+            for d in dict.fromkeys(int(v) for v in distributors)
+            if d not in self._distribution_cache
+        ]
+        if not missing:
+            return
+        target = max(2, int(self._config.reach_fraction * self._graph.num_nodes))
+        for distributor, plan in zip(missing, ticket_plans(self._graph, missing)):
+            self._distribution_cache[distributor] = adaptive_ticket_count(
+                self._graph, distributor, target, plan=plan
+            )
+
     def run(self, controller: int) -> GateKeeperResult:
         """Run the full admission protocol for one controller."""
         distributors = self.select_distributors(controller)
+        self._warm_distributions(distributors)
         reach_counts = np.zeros(self._graph.num_nodes, dtype=np.int64)
         for distributor in distributors:
             result = self._distribution(int(distributor))

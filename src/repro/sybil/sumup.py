@@ -31,8 +31,7 @@ from scipy.sparse.csgraph import maximum_flow
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.graph.traversal import bfs_distances
-from repro.sybil.tickets import distribute_tickets
+from repro.sybil.tickets import TicketPlan
 
 __all__ = ["SumUpConfig", "SumUpResult", "SumUp"]
 
@@ -82,16 +81,26 @@ class SumUp:
         """The graph votes flow over."""
         return self._graph
 
-    def link_capacities(self, collector: int) -> dict[tuple[int, int], int]:
+    def link_capacities(
+        self, collector: int, plan: TicketPlan | None = None
+    ) -> dict[tuple[int, int], int]:
         """Return per-directed-link capacities toward ``collector``.
 
         Links directed level-(i+1) -> level-i carry ``1 + tickets``
         where the tickets were distributed outward from the collector;
         all other links carry capacity 1 (the paper's default so votes
         outside the envelope can still trickle in one at a time).
+        ``plan`` supplies a prebuilt :class:`TicketPlan` for the
+        collector so its BFS levels can be shared with the flow graph.
         """
+        if plan is None:
+            plan = TicketPlan(self._graph, collector)
+        elif plan.source != int(collector):
+            raise SybilDefenseError(
+                f"plan was built for source {plan.source}, not {collector}"
+            )
         cap = self._config.vote_capacity or max(self._graph.num_nodes // 10, 2)
-        outward = distribute_tickets(self._graph, collector, float(cap))
+        outward = plan.run(float(cap))
         capacities: dict[tuple[int, int], int] = {}
         for (u, v), tickets in outward.edge_tickets.items():
             # tickets flowed u -> v outward; votes flow v -> u inward.
@@ -106,11 +115,12 @@ class SumUp:
         """Build the integer capacity matrix with a super-source."""
         n = self._graph.num_nodes
         source = n  # super-source id
-        boosted = self.link_capacities(collector)
+        plan = TicketPlan(self._graph, collector)
+        boosted = self.link_capacities(collector, plan=plan)
         rows: list[int] = []
         cols: list[int] = []
         data: list[int] = []
-        dist = bfs_distances(self._graph, collector)
+        dist = plan.distances  # the levels the tickets flowed over
         for u in range(n):
             for v in self._graph.neighbors(u):
                 v = int(v)

@@ -19,11 +19,12 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.graph.traversal import bfs_distances
+from repro.graph.traversal import bfs_distances, bfs_distances_block
 
 __all__ = [
     "TicketDistribution",
     "TicketPlan",
+    "ticket_plans",
     "distribute_tickets",
     "adaptive_ticket_count",
 ]
@@ -63,12 +64,20 @@ class TicketPlan:
     on (graph, source), so they are computed once here and reused.
     """
 
-    def __init__(self, graph: Graph, source: int) -> None:
+    def __init__(
+        self, graph: Graph, source: int, distances: np.ndarray | None = None
+    ) -> None:
         graph._check_node(source)
         self._graph = graph
         self._source = int(source)
         n = graph.num_nodes
-        self._dist = bfs_distances(graph, source)
+        if distances is None:
+            distances = bfs_distances(graph, source)
+        elif distances.shape != (n,):
+            raise SybilDefenseError(
+                f"precomputed distances must have shape ({n},)"
+            )
+        self._dist = distances
         reachable = self._dist >= 0
         self._max_level = int(self._dist[reachable].max()) if reachable.any() else 0
         src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
@@ -83,6 +92,15 @@ class TicketPlan:
     def source(self) -> int:
         """The distributor node."""
         return self._source
+
+    @property
+    def distances(self) -> np.ndarray:
+        """BFS hop distances from the distributor (-1 for unreachable).
+
+        Exposed so callers that need the same levels (SumUp's capacity
+        orientation) reuse this plan's BFS instead of re-running it.
+        """
+        return self._dist
 
     def run(self, num_tickets: float) -> TicketDistribution:
         """Distribute ``num_tickets`` tickets level by level."""
@@ -122,6 +140,33 @@ class TicketPlan:
         )
 
 
+def ticket_plans(
+    graph: Graph,
+    sources: np.ndarray | list[int],
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> list[TicketPlan]:
+    """Build one :class:`TicketPlan` per source with one block BFS.
+
+    GateKeeper runs the distribution from ~99 distributors per
+    controller; computing every distributor's BFS levels through
+    :func:`repro.graph.bfs_distances_block` amortizes the frontier
+    bookkeeping across the whole distributor block.  Each returned plan
+    is identical to ``TicketPlan(graph, source)`` (the block rows are
+    byte-identical to per-source BFS).
+    """
+    chosen = np.asarray(list(sources), dtype=np.int64)
+    if chosen.size == 0:
+        raise SybilDefenseError("at least one source is required")
+    rows = bfs_distances_block(
+        graph, chosen, chunk_size=chunk_size, workers=workers
+    )
+    return [
+        TicketPlan(graph, int(source), distances=row)
+        for source, row in zip(chosen, rows)
+    ]
+
+
 def distribute_tickets(
     graph: Graph, source: int, num_tickets: float
 ) -> TicketDistribution:
@@ -135,17 +180,26 @@ def adaptive_ticket_count(
     target_reached: int,
     initial: float = 2.0,
     max_doublings: int = 40,
+    plan: TicketPlan | None = None,
 ) -> TicketDistribution:
     """Double the ticket count until >= ``target_reached`` nodes are reached.
 
     This is GateKeeper's adaptive estimation of ``t``: the protocol does
     not know n, so each distributor doubles its ticket budget until the
     reach target is hit.  Raises :class:`SybilDefenseError` if the target
-    is unreachable (e.g. disconnected graph).
+    is unreachable (e.g. disconnected graph).  ``plan`` supplies a
+    prebuilt :class:`TicketPlan` for ``source`` (e.g. one of a
+    :func:`ticket_plans` block) so repeated doublings and many
+    distributors share their BFS scaffolding.
     """
     if target_reached < 1:
         raise SybilDefenseError("target_reached must be positive")
-    plan = TicketPlan(graph, source)
+    if plan is None:
+        plan = TicketPlan(graph, source)
+    elif plan.source != int(source):
+        raise SybilDefenseError(
+            f"plan was built for source {plan.source}, not {source}"
+        )
     tickets = max(initial, 1.0)
     best: TicketDistribution | None = None
     for _ in range(max_doublings):

@@ -16,9 +16,28 @@ from repro.expansion import (
     sweep_cut_expansion,
     vertex_expansion_upper_bound,
 )
-from repro.generators import barbell_graph, complete_graph, cycle_graph
+from repro.generators import (
+    barabasi_albert,
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_gnm,
+)
 from repro.graph import Graph
 from repro.mixing import slem
+
+
+def _neighborhood_size_loop(graph: Graph, nodes: np.ndarray) -> int:
+    """The original per-member implementation, kept as the oracle the
+    vectorized one-gather version is pinned against."""
+    members = np.zeros(graph.num_nodes, dtype=bool)
+    members[nodes] = True
+    seen = np.zeros(graph.num_nodes, dtype=bool)
+    indptr, indices = graph.indptr, graph.indices
+    for v in np.flatnonzero(members):
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        seen[nbrs] = True
+    return int(np.count_nonzero(seen & ~members))
 
 
 class TestNeighborhood:
@@ -35,6 +54,28 @@ class TestNeighborhood:
     def test_empty_set_rejected(self, c7):
         with pytest.raises(GraphError):
             set_expansion(c7, [])
+
+    @pytest.mark.parametrize("n,m,seed", [(30, 60, 0), (50, 80, 1), (40, 150, 2)])
+    def test_vectorized_matches_member_loop(self, n, m, seed):
+        g = erdos_renyi_gnm(n, m, seed=seed)
+        rng = np.random.default_rng(seed)
+        for size in [1, 2, n // 4, n // 2, n - 1, n]:
+            nodes = rng.choice(n, size=size, replace=False)
+            assert neighborhood_size(g, nodes) == _neighborhood_size_loop(g, nodes)
+
+    def test_vectorized_matches_loop_with_isolated_members(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_nodes=6)
+        for nodes in ([3], [3, 4, 5], [0, 3], list(range(6))):
+            arr = np.asarray(nodes, dtype=np.int64)
+            assert neighborhood_size(g, arr) == _neighborhood_size_loop(g, arr)
+
+    def test_vectorized_matches_loop_large_sets(self):
+        """Member sets beyond the 64-node gather boundary."""
+        g = barabasi_albert(300, 4, seed=5)
+        rng = np.random.default_rng(5)
+        for size in [63, 64, 65, 150, 299]:
+            nodes = rng.choice(300, size=size, replace=False)
+            assert neighborhood_size(g, nodes) == _neighborhood_size_loop(g, nodes)
 
 
 class TestConductance:

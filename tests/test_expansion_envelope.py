@@ -76,6 +76,29 @@ class TestEnvelopeExpansion:
         with pytest.raises(GraphError):
             envelope_expansion(c7, sources=[])
 
+    def test_zero_num_sources_rejected(self, c7):
+        with pytest.raises(GraphError):
+            envelope_expansion(c7, num_sources=0)
+
+    def test_zero_max_radius_rejected(self, c7):
+        with pytest.raises(GraphError, match="max_radius"):
+            envelope_expansion(c7, max_radius=0)
+        with pytest.raises(GraphError, match="max_radius"):
+            envelope_expansion(c7, max_radius=-3)
+
+    def test_out_of_range_sources_rejected(self, c7):
+        with pytest.raises(GraphError, match="node ids"):
+            envelope_expansion(c7, sources=[0, 7])
+        with pytest.raises(GraphError, match="node ids"):
+            envelope_expansion(c7, sources=[-1])
+
+    def test_duplicate_sources_collapsed_and_sorted(self, c7):
+        meas = envelope_expansion(c7, sources=[3, 0, 3, 0])
+        assert np.array_equal(meas.sources, [0, 3])
+        dedup = envelope_expansion(c7, sources=[0, 3])
+        assert meas.set_sizes.tobytes() == dedup.set_sizes.tobytes()
+        assert meas.neighbor_counts.tobytes() == dedup.neighbor_counts.tobytes()
+
     def test_set_sizes_bounded_by_n(self, ba_small):
         meas = envelope_expansion(ba_small, num_sources=5, seed=3)
         assert meas.set_sizes.max() < ba_small.num_nodes

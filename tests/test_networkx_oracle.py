@@ -25,8 +25,11 @@ from repro.graph import (
     Graph,
     average_clustering,
     bfs_distances,
+    bfs_distances_block,
+    bfs_level_sizes_block,
     connected_components,
     diameter,
+    eccentricities,
     global_clustering,
     num_connected_components,
 )
@@ -89,6 +92,60 @@ class TestDistancesOracle:
         ours, theirs = _random_pair(30, 120, 5)
         assert nx.is_connected(theirs)
         assert diameter(ours) == nx.diameter(theirs)
+
+
+class TestBfsBlockOracle:
+    """The block BFS engine against networkx shortest-path lengths, on
+    named graphs and the shared random pairs."""
+
+    GRAPHS = {
+        "path": (path_graph(9), nx.path_graph(9)),
+        "cycle": (cycle_graph(8), nx.cycle_graph(8)),
+        "barbell": (barbell_graph(5, 2), nx.barbell_graph(5, 2)),
+        "star": (star_graph(7), nx.star_graph(7)),
+    }
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_distances_block(self, name):
+        ours, theirs = self.GRAPHS[name]
+        sources = list(range(ours.num_nodes))
+        block = bfs_distances_block(ours, sources)
+        for j, source in enumerate(sources):
+            expected = nx.single_source_shortest_path_length(theirs, source)
+            for node in range(ours.num_nodes):
+                assert block[j, node] == expected.get(node, -1)
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_level_sizes_block(self, name):
+        ours, theirs = self.GRAPHS[name]
+        sources = list(range(ours.num_nodes))
+        block = bfs_level_sizes_block(ours, sources)
+        for j, source in enumerate(sources):
+            lengths = nx.single_source_shortest_path_length(theirs, source)
+            expected = np.bincount(
+                list(lengths.values()), minlength=block.shape[1]
+            )
+            assert np.array_equal(block[j], expected)
+
+    @pytest.mark.parametrize("n,m,seed", PAIRS)
+    def test_distances_block_random_pairs(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        sources = list(range(0, n, 3))
+        block = bfs_distances_block(ours, sources, chunk_size=4)
+        for j, source in enumerate(sources):
+            expected = nx.single_source_shortest_path_length(theirs, source)
+            for node in range(n):
+                assert block[j, node] == expected.get(node, -1)
+
+    @pytest.mark.parametrize("n,m,seed", PAIRS[:3])
+    def test_eccentricities_on_connected(self, n, m, seed):
+        ours, theirs = _random_pair(n, m, seed)
+        if not nx.is_connected(theirs):
+            pytest.skip("eccentricity oracle needs a connected pair")
+        expected = nx.eccentricity(theirs)
+        ecc = eccentricities(ours)
+        for node, value in expected.items():
+            assert ecc[node] == value
 
 
 class TestClusteringOracle:
