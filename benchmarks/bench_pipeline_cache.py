@@ -1,0 +1,105 @@
+"""Measurement store: cold-vs-warm wall-clock for the paper sweep.
+
+Runs the full Table-I sweep and the complete measurement pipeline twice
+against one content-addressed cache directory.  The warm pass must
+return byte-identical results at any scale; at report scale (>= 0.2)
+it must also be at least 5x faster, since every mixing/BFS/core stage
+is served from the store instead of recomputed.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from conftest import publish
+
+from repro.analysis import format_table, table1_dataset_summary
+from repro.analysis.persistence import to_jsonable
+from repro.datasets import available_datasets
+from repro.pipeline import paper_measurement_pipeline
+from repro.store import ArtifactStore
+
+PIPELINE_TARGET = "facebook_a"
+SPEEDUP_FLOOR = 5.0
+
+
+def _asserts_speedup(scale: float) -> bool:
+    """Below ~20% scale the stage computations are so cheap that store
+    I/O overhead dominates; smoke runs still assert byte-identity but
+    skip the wall-clock floor."""
+    return scale >= 0.2
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _run_sweep(cache_root, scale, num_sources):
+    datasets = list(available_datasets())
+    rows: list[list[str]] = []
+
+    store = ArtifactStore(cache_root / "cache")
+    table_cold, t_table_cold = _timed(
+        lambda: table1_dataset_summary(datasets, scale=scale, store=store)
+    )
+    table_warm, t_table_warm = _timed(
+        lambda: table1_dataset_summary(
+            datasets, scale=scale, store=ArtifactStore(cache_root / "cache")
+        )
+    )
+    assert to_jsonable(table_warm) == to_jsonable(table_cold)
+    rows.append(
+        [
+            "table1 sweep",
+            f"{t_table_cold:.2f}s",
+            f"{t_table_warm:.2f}s",
+            f"{t_table_cold / t_table_warm:.1f}x",
+        ]
+    )
+
+    def _pipe():
+        return paper_measurement_pipeline(
+            PIPELINE_TARGET,
+            scale=scale,
+            num_sources=num_sources,
+            store=ArtifactStore(cache_root / "cache"),
+        ).run()
+
+    pipe_cold, t_pipe_cold = _timed(_pipe)
+    pipe_warm, t_pipe_warm = _timed(_pipe)
+    assert pipe_warm.digest() == pipe_cold.digest()  # byte-identical results
+    assert pipe_warm.executed == []
+    rows.append(
+        [
+            f"pipeline ({PIPELINE_TARGET})",
+            f"{t_pipe_cold:.2f}s",
+            f"{t_pipe_warm:.2f}s",
+            f"{t_pipe_cold / t_pipe_warm:.1f}x",
+        ]
+    )
+    speedups = (
+        t_table_cold / t_table_warm,
+        t_pipe_cold / t_pipe_warm,
+    )
+    return rows, speedups
+
+
+def test_pipeline_cache(results_dir, scale, num_sources):
+    with tempfile.TemporaryDirectory() as tmp:
+        from pathlib import Path
+
+        rows, speedups = _run_sweep(Path(tmp), scale, num_sources)
+    rendered = format_table(
+        ["Workload", "Cold", "Warm", "Speedup"],
+        rows,
+        title=(
+            f"Measurement store — cold vs warm wall-clock "
+            f"(scale={scale}, sources={num_sources})"
+        ),
+    )
+    publish(results_dir, "bench_pipeline_cache", rendered)
+    if _asserts_speedup(scale):
+        assert min(speedups) >= SPEEDUP_FLOOR

@@ -29,6 +29,8 @@ Subpackages
 ``repro.sybil``      attack model + five Sybil defenses + harness
 ``repro.community``  community detection
 ``repro.analysis``   per-table/figure experiment runners
+``repro.store``      content-addressed measurement artifact cache
+``repro.pipeline``   declarative stage-DAG experiment runner
 """
 
 from repro.analysis import (
@@ -47,6 +49,8 @@ from repro.expansion import envelope_expansion, expansion_factor_series
 from repro.graph import Graph, GraphBuilder
 from repro.markov import TransitionOperator, random_walk, total_variation_distance
 from repro.mixing import sampled_mixing_profile, sampled_mixing_time, slem
+from repro.pipeline import Pipeline, Stage, paper_measurement_pipeline
+from repro.store import ArtifactStore, graph_digest
 from repro.sybil import (
     GateKeeper,
     SumUp,
@@ -78,6 +82,11 @@ __all__ = [
     "coreness_ecdf",
     "envelope_expansion",
     "expansion_factor_series",
+    "ArtifactStore",
+    "graph_digest",
+    "Pipeline",
+    "Stage",
+    "paper_measurement_pipeline",
     "GateKeeper",
     "SybilGuard",
     "SybilLimit",

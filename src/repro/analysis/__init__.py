@@ -15,7 +15,12 @@ from repro.analysis.experiments import (
     table2_gatekeeper,
 )
 from repro.analysis.ascii_plot import ascii_chart
-from repro.analysis.persistence import load_results, save_results
+from repro.analysis.persistence import (
+    load_results,
+    register_result_type,
+    registered_result_types,
+    save_results,
+)
 from repro.analysis.report import measurement_report
 from repro.analysis.stats import ecdf, geometric_mean, spearman, summarize
 from repro.analysis.tables import format_series, format_table
@@ -42,5 +47,7 @@ __all__ = [
     "ascii_chart",
     "save_results",
     "load_results",
+    "register_result_type",
+    "registered_result_types",
     "measurement_report",
 ]

@@ -23,6 +23,7 @@ from repro.expansion.envelope import (
 )
 from repro.mixing.sampling import MixingProfile, sampled_mixing_profile
 from repro.mixing.spectral import slem
+from repro.store import ArtifactStore, memoize
 from repro.sybil.harness import DefenseOutcome, gatekeeper_table_row
 
 __all__ = [
@@ -55,19 +56,27 @@ class DatasetSummary:
 
 
 def table1_dataset_summary(
-    datasets: list[str], scale: float = 1.0, seed: int = 0
+    datasets: list[str],
+    scale: float = 1.0,
+    seed: int = 0,
+    store: ArtifactStore | None = None,
 ) -> list[DatasetSummary]:
-    """Measure Table I (n, m, second largest eigenvalue) per analog."""
+    """Measure Table I (n, m, second largest eigenvalue) per analog.
+
+    ``store`` memoizes the per-graph SLEM through an artifact cache, so
+    repeated sweeps over the same analogs are warm.
+    """
     rows = []
     for name in datasets:
         spec = dataset_spec(name)
         graph = load_dataset(name, scale=scale, seed=seed)
+        mu = memoize(store, graph, "slem", {}, lambda: slem(graph))
         rows.append(
             DatasetSummary(
                 name=name,
                 num_nodes=graph.num_nodes,
                 num_edges=graph.num_edges,
-                slem=slem(graph),
+                slem=mu,
                 paper_nodes=spec.paper_nodes,
                 paper_edges=spec.paper_edges,
                 mixing_regime=spec.mixing_regime,
@@ -85,35 +94,55 @@ def figure1_mixing_profiles(
     strategy: str = "batched",
     chunk_size: int | None = None,
     workers: int | None = None,
+    store: ArtifactStore | None = None,
 ) -> dict[str, MixingProfile]:
     """Measure Figure 1: sampled TVD-vs-walk-length per analog.
 
     ``strategy``/``chunk_size``/``workers`` select the walk engine as in
-    :func:`repro.mixing.sampled_mixing_profile`.
+    :func:`repro.mixing.sampled_mixing_profile`; they change only the
+    execution schedule (results are byte-identical), so they stay out
+    of the ``store`` cache key.
     """
     lengths = walk_lengths or [1, 2, 3, 4, 5, 7, 10, 15, 20, 30, 40, 50]
-    return {
-        name: sampled_mixing_profile(
-            load_dataset(name, scale=scale, seed=seed),
-            walk_lengths=lengths,
-            num_sources=num_sources,
-            seed=seed,
-            strategy=strategy,
-            chunk_size=chunk_size,
-            workers=workers,
+    out = {}
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        out[name] = memoize(
+            store,
+            graph,
+            "mixing",
+            {"walk_lengths": lengths, "num_sources": num_sources, "seed": seed},
+            lambda graph=graph: sampled_mixing_profile(
+                graph,
+                walk_lengths=lengths,
+                num_sources=num_sources,
+                seed=seed,
+                strategy=strategy,
+                chunk_size=chunk_size,
+                workers=workers,
+            ),
         )
-        for name in datasets
-    }
+    return out
 
 
 def figure2_coreness_ecdfs(
-    datasets: list[str], scale: float = 1.0, seed: int = 0
+    datasets: list[str],
+    scale: float = 1.0,
+    seed: int = 0,
+    store: ArtifactStore | None = None,
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
     """Measure Figure 2: coreness ECDF per analog."""
-    return {
-        name: coreness_ecdf(load_dataset(name, scale=scale, seed=seed))
-        for name in datasets
-    }
+    out = {}
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+
+        def ecdf_dict(graph=graph):
+            values, fractions = coreness_ecdf(graph)
+            return {"values": values, "fractions": fractions}
+
+        cached = memoize(store, graph, "coreness_ecdf", {}, ecdf_dict)
+        out[name] = (cached["values"], cached["fractions"])
+    return out
 
 
 def table2_gatekeeper(
@@ -123,6 +152,7 @@ def table2_gatekeeper(
     num_controllers: int = 3,
     scale: float = 1.0,
     seed: int = 0,
+    store: ArtifactStore | None = None,
 ) -> list[DefenseOutcome]:
     """Run Table II: GateKeeper over the paper's four graphs.
 
@@ -136,13 +166,25 @@ def table2_gatekeeper(
         graph = load_dataset(name, scale=scale, seed=seed)
         edges = (attack_edges or {}).get(name, max(graph.num_nodes // 100, 5))
         outcomes.extend(
-            gatekeeper_table_row(
+            memoize(
+                store,
                 graph,
-                dataset=name,
-                num_attack_edges=edges,
-                admission_factors=admission_factors,
-                num_controllers=num_controllers,
-                seed=seed,
+                "gatekeeper",
+                {
+                    "dataset": name,
+                    "num_attack_edges": edges,
+                    "admission_factors": admission_factors,
+                    "num_controllers": num_controllers,
+                    "seed": seed,
+                },
+                lambda graph=graph, name=name, edges=edges: gatekeeper_table_row(
+                    graph,
+                    dataset=name,
+                    num_attack_edges=edges,
+                    admission_factors=admission_factors,
+                    num_controllers=num_controllers,
+                    seed=seed,
+                ),
             )
         )
     return outcomes
@@ -156,27 +198,46 @@ def figure3_expansion_summaries(
     strategy: str = "batched",
     chunk_size: int | None = None,
     workers: int | None = None,
+    store: ArtifactStore | None = None,
 ) -> dict[str, ExpansionSummary]:
     """Measure Figure 3: min/mean/max |N(S)| per unique |S| per analog.
 
     ``num_sources=None`` uses every node as a core exactly as the paper
     does; pass a count to sample sources on the larger analogs.
     ``strategy``/``chunk_size``/``workers`` select the BFS engine as in
-    :func:`repro.expansion.envelope_expansion`.
+    :func:`repro.expansion.envelope_expansion`; only the expensive
+    :class:`ExpansionMeasurement` is memoized through ``store`` (the
+    aggregation is cheap and recomputed).
     """
     out = {}
     for name in datasets:
         graph = load_dataset(name, scale=scale, seed=seed)
-        measurement = envelope_expansion(
+        measurement = _memoized_expansion(
+            store, graph, num_sources, seed, strategy, chunk_size, workers
+        )
+        out[name] = aggregate_by_set_size(measurement)
+    return out
+
+
+def _memoized_expansion(
+    store, graph, num_sources, seed, strategy, chunk_size, workers
+):
+    """Envelope expansion through the artifact store (engine knobs
+    excluded from the key; the engines are byte-equivalent)."""
+    return memoize(
+        store,
+        graph,
+        "expansion",
+        {"num_sources": num_sources, "seed": seed},
+        lambda: envelope_expansion(
             graph,
             num_sources=num_sources,
             seed=seed,
             strategy=strategy,
             chunk_size=chunk_size,
             workers=workers,
-        )
-        out[name] = aggregate_by_set_size(measurement)
-    return out
+        ),
+    )
 
 
 def figure4_expansion_factors(
@@ -187,31 +248,33 @@ def figure4_expansion_factors(
     strategy: str = "batched",
     chunk_size: int | None = None,
     workers: int | None = None,
+    store: ArtifactStore | None = None,
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
     """Measure Figure 4: expected expansion factor vs |S| per analog."""
     out = {}
     for name in datasets:
         graph = load_dataset(name, scale=scale, seed=seed)
-        measurement = envelope_expansion(
-            graph,
-            num_sources=num_sources,
-            seed=seed,
-            strategy=strategy,
-            chunk_size=chunk_size,
-            workers=workers,
+        measurement = _memoized_expansion(
+            store, graph, num_sources, seed, strategy, chunk_size, workers
         )
         out[name] = expansion_factor_series(measurement)
     return out
 
 
 def figure5_core_structures(
-    datasets: list[str], scale: float = 1.0, seed: int = 0
+    datasets: list[str],
+    scale: float = 1.0,
+    seed: int = 0,
+    store: ArtifactStore | None = None,
 ) -> dict[str, CoreStructure]:
     """Measure Figure 5: nu'_k and connected-core counts per analog."""
-    return {
-        name: core_structure(load_dataset(name, scale=scale, seed=seed))
-        for name in datasets
-    }
+    out = {}
+    for name in datasets:
+        graph = load_dataset(name, scale=scale, seed=seed)
+        out[name] = memoize(
+            store, graph, "cores", {}, lambda graph=graph: core_structure(graph)
+        )
+    return out
 
 
 def _mixing_speed_score(profile: MixingProfile) -> float:

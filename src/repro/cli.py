@@ -11,6 +11,13 @@ Commands
     Regenerate one of the paper's tables/figures from the analog
     registry; ``<experiment>`` is one of table1, fig1, fig2, table2,
     fig3, fig4, fig5.
+``pipeline run --target T [--cache-dir DIR]``
+    Run the full measurement DAG (load -> mixing/spectral/cores/
+    expansion/gatekeeper -> tables) with per-stage memoization; a
+    second run against the same cache directory recomputes nothing.
+
+``audit``, ``report`` and ``reproduce`` accept the same ``--cache-dir``
+flag, sharing warm artifacts with the pipeline.
 """
 
 from __future__ import annotations
@@ -36,8 +43,15 @@ from repro.datasets import available_datasets, dataset_spec, load_dataset
 from repro.expansion import envelope_expansion
 from repro.graph import largest_connected_component, read_edge_list
 from repro.mixing import is_fast_mixing, sinclair_bounds, slem
+from repro.pipeline import paper_measurement_pipeline
+from repro.store import ArtifactStore, memoize
 
 __all__ = ["main"]
+
+
+def _store_from(args: argparse.Namespace) -> ArtifactStore | None:
+    cache_dir = getattr(args, "cache_dir", None)
+    return ArtifactStore(cache_dir) if cache_dir else None
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -77,14 +91,31 @@ def _load_target(target: str, scale: float):
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    store = _store_from(args)
     graph = _load_target(args.target, args.scale)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges (LCC)")
-    mu = slem(graph)
-    bounds = sinclair_bounds(mu, graph.num_nodes, epsilon=1 / graph.num_nodes)
-    fast = is_fast_mixing(graph, num_sources=30, seed=0)
-    structure = core_structure(graph)
+
+    def measure_spectral():
+        mu = slem(graph)
+        bounds = sinclair_bounds(mu, graph.num_nodes, epsilon=1 / graph.num_nodes)
+        fast = is_fast_mixing(graph, num_sources=30, seed=0)
+        return {"slem": mu, "bounds": bounds, "fast": bool(fast)}
+
+    spectral = memoize(
+        store, graph, "spectral", {"seed": 0, "fast_sources": 30}, measure_spectral
+    )
+    mu, bounds, fast = spectral["slem"], spectral["bounds"], spectral["fast"]
+    structure = memoize(store, graph, "cores", {}, lambda: core_structure(graph))
     cohesive = bool(np.all(structure.num_cores == 1))
-    measurement = envelope_expansion(graph, num_sources=min(50, graph.num_nodes), seed=0)
+    measurement = memoize(
+        store,
+        graph,
+        "expansion",
+        {"num_sources": 50, "seed": 0},
+        lambda: envelope_expansion(
+            graph, num_sources=min(50, graph.num_nodes), seed=0
+        ),
+    )
     small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
     alpha = (
         float(measurement.expansion_factors[small].mean()) if small.any() else 0.0
@@ -119,10 +150,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import measurement_report
 
     graph = _load_target(args.target, args.scale)
-    text = measurement_report(graph, name=args.target)
+    text = measurement_report(graph, name=args.target, store=_store_from(args))
     if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
-        print(f"report written to {args.output}")
+        output = Path(args.output).resolve()
+        output.parent.mkdir(parents=True, exist_ok=True)
+        output.write_text(text, encoding="utf-8")
+        print(f"report written to {output}")
     else:
         print(text)
     return 0
@@ -130,8 +163,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     scale = args.scale
+    store = _store_from(args)
     if args.experiment == "table1":
-        rows = table1_dataset_summary(list(available_datasets()), scale=scale)
+        rows = table1_dataset_summary(
+            list(available_datasets()), scale=scale, store=store
+        )
         print(
             format_table(
                 ["dataset", "nodes", "edges", "mu"],
@@ -144,6 +180,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             ["wiki_vote", "enron", "physics1", "epinions"],
             num_sources=50,
             scale=scale,
+            store=store,
         )
         headers = ["walk len"] + list(profiles)
         lengths = next(iter(profiles.values())).walk_lengths
@@ -165,13 +202,13 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         )
     elif args.experiment == "fig2":
         ecdfs = figure2_coreness_ecdfs(
-            ["wiki_vote", "physics1", "epinions"], scale=scale
+            ["wiki_vote", "physics1", "epinions"], scale=scale, store=store
         )
         for name, (values, fractions) in ecdfs.items():
             rows = [[int(v), f"{f:.3f}"] for v, f in zip(values, fractions)]
             print(format_table(["k", "P(coreness <= k)"], rows, title=name))
     elif args.experiment == "table2":
-        outcomes = table2_gatekeeper(num_controllers=2, scale=scale)
+        outcomes = table2_gatekeeper(num_controllers=2, scale=scale, store=store)
         print(
             format_table(
                 ["dataset", "f", "honest", "sybil/edge"],
@@ -189,7 +226,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         )
     elif args.experiment == "fig3":
         summaries = figure3_expansion_summaries(
-            ["wiki_vote", "physics1"], num_sources=50, scale=scale
+            ["wiki_vote", "physics1"], num_sources=50, scale=scale, store=store
         )
         for name, s in summaries.items():
             picks = np.linspace(0, s.set_sizes.size - 1, 10).astype(int)
@@ -209,7 +246,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             )
     elif args.experiment == "fig4":
         factors = figure4_expansion_factors(
-            ["wiki_vote", "physics1"], num_sources=50, scale=scale
+            ["wiki_vote", "physics1"], num_sources=50, scale=scale, store=store
         )
         for name, (sizes, alphas) in factors.items():
             picks = np.linspace(0, sizes.size - 1, 10).astype(int)
@@ -217,7 +254,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             print(format_table(["|S|", "alpha"], rows, title=f"Figure 4 ({name})"))
     elif args.experiment == "fig5":
         structures = figure5_core_structures(
-            ["wiki_vote", "physics1", "epinions"], scale=scale
+            ["wiki_vote", "physics1", "epinions"], scale=scale, store=store
         )
         for name, s in structures.items():
             rows = [
@@ -234,6 +271,56 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    store = _store_from(args)
+    pipeline = paper_measurement_pipeline(
+        args.target,
+        scale=args.scale,
+        seed=args.seed,
+        num_sources=args.sources,
+        store=store,
+        workers=args.workers,
+    )
+    if args.pipeline_command == "stages":
+        rows = [
+            [s, ", ".join(pipeline.stage(s).deps) or "-"]
+            for s in pipeline.stage_names
+        ]
+        print(format_table(["stage", "depends on"], rows, title="Pipeline DAG"))
+        return 0
+    targets = args.stages.split(",") if args.stages else None
+    result = pipeline.run(targets=targets)
+    print(result.summary())
+    print(store.stats.as_line() if store else "cache: disabled")
+    print(f"results digest: {result.digest()}")
+    tables = result.results.get("tables")
+    if tables is not None:
+        print(
+            format_table(
+                ["property", "value"],
+                [
+                    ["target", tables["target"]],
+                    ["nodes", tables["num_nodes"]],
+                    ["edges", tables["num_edges"]],
+                    ["SLEM mu", f"{tables['slem']:.4f}"],
+                    ["fast-mixing", "PASS" if tables["fast_mixing"] else "FAIL"],
+                    ["degeneracy k_max", tables["degeneracy"]],
+                    ["max simultaneous cores", tables["max_cores"]],
+                    [
+                        "mean alpha (small envelopes)",
+                        f"{tables['mean_small_set_expansion']:.2f}",
+                    ],
+                    [
+                        "gatekeeper cells",
+                        len(tables["gatekeeper"]),
+                    ],
+                ],
+                title="Pipeline headline results",
+            )
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -245,27 +332,55 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("datasets", help="list bundled Table-I analogs")
+    cache_help = "artifact-cache directory for warm reruns"
     audit = sub.add_parser("audit", help="audit a graph for defense readiness")
     audit.add_argument("target", help="edge-list path or bundled dataset name")
     audit.add_argument("--scale", type=float, default=0.25)
+    audit.add_argument("--cache-dir", help=cache_help)
     repro = sub.add_parser("reproduce", help="regenerate a paper experiment")
     repro.add_argument(
         "experiment",
         choices=["table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5"],
     )
     repro.add_argument("--scale", type=float, default=0.25)
+    repro.add_argument("--cache-dir", help=cache_help)
     report = sub.add_parser(
         "report", help="full markdown measurement report for a graph"
     )
     report.add_argument("target", help="edge-list path or bundled dataset name")
     report.add_argument("--scale", type=float, default=0.25)
     report.add_argument("--output", help="write the report to this file")
+    report.add_argument("--cache-dir", help=cache_help)
+    pipeline = sub.add_parser(
+        "pipeline", help="run the measurement DAG with per-stage memoization"
+    )
+    pipe_sub = pipeline.add_subparsers(dest="pipeline_command", required=True)
+    for verb, help_text in [
+        ("run", "execute the DAG (warm stages are served from the cache)"),
+        ("stages", "list the DAG stages and their dependencies"),
+    ]:
+        cmd = pipe_sub.add_parser(verb, help=help_text)
+        cmd.add_argument(
+            "--target",
+            required=True,
+            help="edge-list path or bundled dataset name",
+        )
+        cmd.add_argument("--scale", type=float, default=0.25)
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--sources", type=int, default=50)
+        cmd.add_argument("--workers", type=int)
+        cmd.add_argument("--cache-dir", help=cache_help)
+        cmd.add_argument(
+            "--stages",
+            help="comma-separated target stages (their dependencies run too)",
+        )
     args = parser.parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
         "audit": _cmd_audit,
         "reproduce": _cmd_reproduce,
         "report": _cmd_report,
+        "pipeline": _cmd_pipeline,
     }
     return handlers[args.command](args)
 

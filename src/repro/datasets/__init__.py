@@ -6,6 +6,7 @@ from repro.datasets.registry import (
     SMALL_DATASETS,
     DatasetSpec,
     available_datasets,
+    dataset_fingerprint,
     dataset_spec,
     load_dataset,
 )
@@ -14,6 +15,7 @@ __all__ = [
     "DatasetSpec",
     "available_datasets",
     "dataset_spec",
+    "dataset_fingerprint",
     "load_dataset",
     "SMALL_DATASETS",
     "MEDIUM_DATASETS",

@@ -17,6 +17,7 @@ from repro.errors import GraphError
 from repro.expansion.envelope import envelope_expansion
 from repro.graph.core import Graph
 from repro.mixing.spectral import slem
+from repro.store import ArtifactStore, memoize
 
 __all__ = ["SnapshotMetrics", "track_evolution"]
 
@@ -46,26 +47,39 @@ def track_evolution(
     strategy: str = "batched",
     chunk_size: int | None = None,
     workers: int | None = None,
+    store: ArtifactStore | None = None,
 ) -> list[SnapshotMetrics]:
     """Measure every snapshot in an evolution sequence.
 
     Expansion is summarized as the mean expansion factor over envelopes
     of at most n/10 nodes (the regime Figures 3-4 show is
     discriminative).  ``strategy``/``chunk_size``/``workers`` pass
-    through to :func:`repro.expansion.envelope_expansion`.
+    through to :func:`repro.expansion.envelope_expansion`.  ``store``
+    memoizes the per-snapshot SLEM/core/expansion measurements under
+    each snapshot's content digest, so overlapping or replayed
+    evolution sequences (e.g. sliding windows over the same history)
+    only measure new snapshots.
     """
     out: list[SnapshotMetrics] = []
     for step, graph in enumerate(graph_sequence):
         if graph.num_nodes < 3 or graph.num_edges < 2:
             raise GraphError(f"snapshot {step} is too small to measure")
-        structure = core_structure(graph)
-        measurement = envelope_expansion(
+        structure = memoize(
+            store, graph, "cores", {}, lambda graph=graph: core_structure(graph)
+        )
+        measurement = memoize(
+            store,
             graph,
-            num_sources=min(expansion_sources, graph.num_nodes),
-            seed=seed,
-            strategy=strategy,
-            chunk_size=chunk_size,
-            workers=workers,
+            "expansion",
+            {"num_sources": expansion_sources, "seed": seed},
+            lambda graph=graph: envelope_expansion(
+                graph,
+                num_sources=min(expansion_sources, graph.num_nodes),
+                seed=seed,
+                strategy=strategy,
+                chunk_size=chunk_size,
+                workers=workers,
+            ),
         )
         small = measurement.set_sizes <= max(graph.num_nodes // 10, 1)
         factors = measurement.expansion_factors[small]
@@ -74,7 +88,9 @@ def track_evolution(
                 step=step,
                 num_nodes=graph.num_nodes,
                 num_edges=graph.num_edges,
-                slem=slem(graph),
+                slem=memoize(
+                    store, graph, "slem", {}, lambda graph=graph: slem(graph)
+                ),
                 degeneracy=structure.degeneracy,
                 max_cores=int(structure.num_cores.max()),
                 mean_small_set_expansion=float(factors.mean()) if factors.size else 0.0,

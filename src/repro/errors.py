@@ -53,3 +53,11 @@ class ConvergenceError(ReproError):
 
 class SybilDefenseError(ReproError):
     """Raised for invalid Sybil-defense configurations or inputs."""
+
+
+class StoreError(ReproError):
+    """Raised for invalid artifact-store keys, params or configuration."""
+
+
+class PipelineError(ReproError):
+    """Raised for malformed experiment pipelines (cycles, unknown stages)."""

@@ -1,0 +1,443 @@
+"""Content-addressed on-disk store for measurement artifacts.
+
+Every expensive measurement in this library is a pure function of
+``(graph, algorithm, parameters)``: the mixing profile of a graph at
+fixed walk lengths, its SLEM, its core structure, an envelope-expansion
+sweep, a GateKeeper table row.  This module caches those results on
+disk under a *content-addressed* key so repeated invocations — warm
+CLI runs, repeated experiment sweeps, resumed pipelines — skip the
+recomputation entirely:
+
+``key = H(graph digest | stage name | canonical params | versions)``
+
+* The **graph digest** is a SHA-256 over the graph's canonical CSR
+  bytes (``indptr`` + ``indices``); two structurally identical graphs
+  produce the same digest in any process on any platform.
+* The **stage name** identifies the measurement ("mixing", "spectral",
+  "cores", "expansion", "gatekeeper", ...).
+* **Canonical params** are the algorithm parameters serialized as
+  sorted-key JSON, so dict ordering never changes the key.
+* **Versions** — the codec version of :mod:`repro.analysis.persistence`
+  plus a per-stage algorithm version — are folded into the key, so
+  bumping either invalidates stale entries instead of decoding garbage.
+
+Values are serialized through the persistence codec, written atomically
+(temp file + ``os.replace``) under ``<root>/objects/``, and tracked in
+an ``index.json`` manifest.  Corrupt or truncated entries are detected
+on read, counted, deleted and treated as misses, so a damaged cache
+degrades to recomputation rather than failure.  Reads probe the object
+file directly (not the manifest), which combined with atomic writes
+makes concurrent readers and writers safe — a reader sees either the
+complete old entry or the complete new one, never a partial write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import StoreError
+from repro.graph.core import Graph
+
+__all__ = [
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreStats",
+    "canonical_params",
+    "graph_digest",
+    "memoize",
+]
+
+#: Domain separator folded into every graph digest; bump if the digest
+#: definition itself ever changes.
+_DIGEST_DOMAIN = b"repro-graph-digest-v1"
+
+_MISS = object()
+
+
+def _codec():
+    """The persistence codec, imported lazily to avoid import cycles.
+
+    (:mod:`repro.analysis.persistence` registers result types from
+    modules that themselves use this store.)
+    """
+    from repro.analysis import persistence
+
+    return persistence
+
+
+def graph_digest(graph: Graph) -> str:
+    """Return the SHA-256 hex digest of ``graph``'s canonical CSR bytes.
+
+    The digest covers ``indptr`` and ``indices`` (both int64, so the
+    byte layout is platform-stable), making it reproducible across
+    processes and machines — the property the store's cross-process key
+    stability rests on.
+    """
+    h = hashlib.sha256(_DIGEST_DOMAIN)
+    h.update(graph.indptr.tobytes())
+    h.update(graph.indices.tobytes())
+    return h.hexdigest()
+
+
+def canonical_params(params: Mapping[str, Any] | None) -> str:
+    """Serialize ``params`` to canonical (sorted-key) JSON.
+
+    Only JSON-friendly values are allowed — str, bool, int, float,
+    None, and lists/tuples/dicts thereof.  Anything else raises
+    :class:`StoreError` so un-keyable parameters fail loudly instead of
+    silently colliding.
+    """
+
+    def check(value: Any) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, (list, tuple)):
+            return [check(v) for v in value]
+        if isinstance(value, Mapping):
+            return {str(k): check(v) for k, v in value.items()}
+        raise StoreError(
+            f"cache params must be JSON-friendly; got {type(value).__name__}"
+        )
+
+    return json.dumps(check(dict(params or {})), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters for one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    def as_line(self) -> str:
+        """One-line summary, stable enough to grep in CI logs."""
+        return (
+            f"cache: hits={self.hits} misses={self.misses} "
+            f"writes={self.writes} evictions={self.evictions} "
+            f"corrupt={self.corrupt}"
+        )
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One manifest row describing a stored artifact."""
+
+    key: str
+    stage: str
+    graph: str
+    params: str
+    version: int
+    created: float = field(compare=False, default=0.0)
+
+
+class ArtifactStore:
+    """Content-addressed measurement cache rooted at a directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use.
+    max_entries:
+        Optional capacity.  When a write would exceed it, the oldest
+        entries (by insertion) are evicted first.
+    """
+
+    def __init__(self, root: str | Path, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise StoreError("max_entries must be positive")
+        self._root = Path(root)
+        self._objects = self._root / "objects"
+        self._index_path = self._root / "index.json"
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+        self._index: dict[str, StoreEntry] = {}
+        if self._index_path.exists():
+            self._load_index()
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        subject: Graph | str,
+        stage: str,
+        params: Mapping[str, Any] | None = None,
+        version: int = 1,
+    ) -> str:
+        """Return the content-addressed key for one artifact.
+
+        ``subject`` is the measured graph, or a precomputed digest
+        string for artifacts keyed before a graph exists (e.g. a
+        dataset fingerprint keying the generation stage itself).
+        """
+        if not stage or "|" in stage:
+            raise StoreError(f"invalid stage name {stage!r}")
+        digest = subject if isinstance(subject, str) else graph_digest(subject)
+        material = "|".join(
+            [
+                digest,
+                stage,
+                canonical_params(params),
+                f"codec={_codec().CODEC_VERSION}",
+                f"stage_version={int(version)}",
+            ]
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        subject: Graph | str,
+        stage: str,
+        params: Mapping[str, Any] | None = None,
+        version: int = 1,
+        default: Any = None,
+    ) -> Any:
+        """Return the stored value, or ``default`` on a miss.
+
+        A corrupt entry (truncated write, damaged JSON, key mismatch)
+        counts as a miss: it is recorded in :attr:`stats`, deleted best
+        effort, and ``default`` is returned.
+        """
+        key = self.key_for(subject, stage, params, version=version)
+        path = self._object_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            self._stats.misses += 1
+            return default
+        try:
+            payload = json.loads(raw)
+            if payload.get("key") != key:
+                raise StoreError(f"entry {key[:12]} holds a foreign key")
+            value = _codec().from_jsonable(payload["value"])
+        except Exception:
+            self._stats.corrupt += 1
+            self._stats.misses += 1
+            self._discard(key, path)
+            return default
+        self._stats.hits += 1
+        return value
+
+    def put(
+        self,
+        subject: Graph | str,
+        stage: str,
+        params: Mapping[str, Any] | None = None,
+        value: Any = None,
+        version: int = 1,
+    ) -> str:
+        """Store ``value`` and return its key.
+
+        The object file is written atomically; the manifest is updated
+        under a lock and evictions are applied if ``max_entries`` would
+        be exceeded.
+        """
+        key = self.key_for(subject, stage, params, version=version)
+        digest = subject if isinstance(subject, str) else graph_digest(subject)
+        payload = {
+            "key": key,
+            "stage": stage,
+            "graph": digest,
+            "params": canonical_params(params),
+            "version": int(version),
+            "codec": _codec().CODEC_VERSION,
+            "value": _codec().to_jsonable(value),
+        }
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, json.dumps(payload))
+        with self._lock:
+            self._index[key] = StoreEntry(
+                key=key,
+                stage=stage,
+                graph=digest,
+                params=payload["params"],
+                version=int(version),
+                created=time.time(),
+            )
+            self._stats.writes += 1
+            self._evict_locked()
+            self._write_index_locked()
+        return key
+
+    def contains(
+        self,
+        subject: Graph | str,
+        stage: str,
+        params: Mapping[str, Any] | None = None,
+        version: int = 1,
+    ) -> bool:
+        """True when a readable entry exists (does not bump counters)."""
+        key = self.key_for(subject, stage, params, version=version)
+        return self._object_path(key).exists()
+
+    def memoize(
+        self,
+        subject: Graph | str,
+        stage: str,
+        params: Mapping[str, Any] | None,
+        fn: Callable[[], Any],
+        version: int = 1,
+    ) -> Any:
+        """Return the cached value for the key, computing and storing on miss."""
+        value = self.get(subject, stage, params, version=version, default=_MISS)
+        if value is not _MISS:
+            return value
+        value = fn()
+        self.put(subject, stage, params, value, version=version)
+        return value
+
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self._root
+
+    @property
+    def stats(self) -> StoreStats:
+        """Counters accumulated by this instance."""
+        return self._stats
+
+    def entries(self) -> list[StoreEntry]:
+        """Manifest rows, oldest first."""
+        with self._lock:
+            return list(self._index.values())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        with self._lock:
+            removed = len(self._index)
+            for key in list(self._index):
+                try:
+                    self._object_path(key).unlink()
+                except OSError:
+                    pass
+            self._index.clear()
+            self._write_index_locked()
+        return removed
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _object_path(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _discard(self, key: str, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        with self._lock:
+            if self._index.pop(key, None) is not None:
+                self._write_index_locked()
+
+    def _evict_locked(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._index) > self._max_entries:
+            oldest = next(iter(self._index))
+            self._index.pop(oldest)
+            try:
+                self._object_path(oldest).unlink()
+            except OSError:
+                pass
+            self._stats.evictions += 1
+
+    def _write_index_locked(self) -> None:
+        self._root.mkdir(parents=True, exist_ok=True)
+        rows = [
+            {
+                "key": e.key,
+                "stage": e.stage,
+                "graph": e.graph,
+                "params": e.params,
+                "version": e.version,
+                "created": e.created,
+            }
+            for e in self._index.values()
+        ]
+        self._atomic_write(self._index_path, json.dumps({"entries": rows}))
+
+    def _load_index(self) -> None:
+        try:
+            rows: Iterable[dict] = json.loads(
+                self._index_path.read_text(encoding="utf-8")
+            )["entries"]
+            self._index = {
+                row["key"]: StoreEntry(
+                    key=row["key"],
+                    stage=row["stage"],
+                    graph=row["graph"],
+                    params=row["params"],
+                    version=int(row["version"]),
+                    created=float(row.get("created", 0.0)),
+                )
+                for row in rows
+            }
+        except Exception:
+            # A damaged manifest is rebuilt from the object files; the
+            # objects themselves remain the source of truth.
+            self._index = {}
+            if self._objects.exists():
+                for obj in sorted(self._objects.glob("*/*.json")):
+                    try:
+                        payload = json.loads(obj.read_text(encoding="utf-8"))
+                        self._index[payload["key"]] = StoreEntry(
+                            key=payload["key"],
+                            stage=payload["stage"],
+                            graph=payload["graph"],
+                            params=payload["params"],
+                            version=int(payload["version"]),
+                            created=obj.stat().st_mtime,
+                        )
+                    except Exception:
+                        continue
+
+
+def memoize(
+    store: ArtifactStore | None,
+    subject: Graph | str,
+    stage: str,
+    params: Mapping[str, Any] | None,
+    fn: Callable[[], Any],
+    version: int = 1,
+) -> Any:
+    """Memoize ``fn`` through ``store``; with ``store=None`` just call it.
+
+    The helper every store-aware measurement entry point uses, so the
+    "no cache configured" path stays a plain function call.
+    """
+    if store is None:
+        return fn()
+    return store.memoize(subject, stage, params, fn, version=version)

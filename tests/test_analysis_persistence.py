@@ -2,15 +2,219 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.analysis import ascii_chart, load_results, save_results
+from repro.analysis.persistence import (
+    from_jsonable,
+    register_result_type,
+    registered_result_types,
+    to_jsonable,
+)
 from repro.cores import core_structure
 from repro.errors import ReproError
 from repro.expansion import aggregate_by_set_size, envelope_expansion
+from repro.graph import Graph
 from repro.mixing import sampled_mixing_profile
 from repro.sybil.harness import DefenseOutcome
+from repro.sybil.tickets import TicketPlan
+
+
+def _instances():
+    """One representative instance per registered result dataclass."""
+    from repro.analysis.experiments import DatasetSummary
+    from repro.anonymity.mixes import AnonymityProfile
+    from repro.cores.statistics import CoreStructure
+    from repro.dht.whanau import LookupResult
+    from repro.dtn.simbet import DeliveryStats
+    from repro.dynamics.tracking import SnapshotMetrics
+    from repro.expansion.envelope import (
+        ExpansionMeasurement,
+        ExpansionSummary,
+        SourceExpansion,
+    )
+    from repro.mixing.sampling import MixingProfile
+    from repro.mixing.spectral import MixingBounds
+    from repro.sybil.escape import EscapeMeasurement
+    from repro.sybil.gatekeeper import GateKeeperConfig, GateKeeperResult
+    from repro.sybil.sumup import SumUpResult
+    from repro.sybil.sybilinfer import SybilInferResult
+    from repro.sybil.sybilrank import SybilRankResult
+    from repro.sybil.tickets import TicketDistribution
+
+    config = GateKeeperConfig(
+        num_distributors=3,
+        admission_factor=0.2,
+        reach_fraction=0.5,
+        walk_length_factor=1.0,
+        seed=7,
+    )
+    return [
+        AnonymityProfile(
+            walk_lengths=np.array([1, 5]),
+            mean_entropy=np.array([0.4, 1.2]),
+            max_entropy=2.0,
+            mean_tvd=np.array([0.9, 0.3]),
+        ),
+        CoreStructure(
+            ks=np.arange(3),
+            node_fraction=np.array([1.0, 0.5, 0.1]),
+            edge_fraction=np.array([1.0, 0.6, 0.2]),
+            num_cores=np.array([1, 1, 2]),
+        ),
+        DefenseOutcome(
+            dataset="x",
+            defense="gatekeeper",
+            parameter=0.2,
+            honest_acceptance=0.95,
+            sybils_per_attack_edge=1.5,
+            num_controllers=3,
+        ),
+        DeliveryStats(delivered=4, total=5, mean_hops=2.5, mean_rounds=6.0),
+        EscapeMeasurement(
+            walk_lengths=np.array([1, 2]),
+            escape=np.array([0.1, 0.4]),
+            num_attack_edges=3,
+            honest_edges=40,
+        ),
+        ExpansionMeasurement(
+            sources=np.array([0, 1]),
+            set_sizes=np.array([2, 3]),
+            neighbor_counts=np.array([4, 5]),
+        ),
+        ExpansionSummary(
+            set_sizes=np.array([2, 3]),
+            minimum=np.array([1.0, 1.5]),
+            mean=np.array([2.0, 2.5]),
+            maximum=np.array([3.0, 3.5]),
+            count=np.array([5, 4]),
+        ),
+        config,
+        GateKeeperResult(
+            controller=0,
+            distributors=np.array([1, 2]),
+            reach_counts=np.array([10, 12]),
+            admitted=np.array([3, 4, 5]),
+            config=config,
+        ),
+        LookupResult(key=9, source=1, found_owner=None, tries=3),
+        MixingBounds(slem=0.8, epsilon=0.25, num_nodes=100, lower=2.0, upper=40.0),
+        MixingProfile(
+            walk_lengths=np.array([1, 10]),
+            sources=np.array([0, 5]),
+            tvd=np.array([[0.9, 0.2], [0.8, 0.1]]),
+            lazy=True,
+        ),
+        SourceExpansion(source=3, level_sizes=np.array([1, 4, 9])),
+        SumUpResult(
+            collector=0, voters=np.array([1, 2, 3]), collected_votes=2, max_possible=3
+        ),
+        SybilInferResult(
+            honest_probability=np.array([0.9, 0.1]),
+            best_set=np.array([0]),
+            best_log_likelihood=-1.5,
+        ),
+        SybilRankResult(
+            trust=np.array([0.5, 0.25]), normalized=np.array([0.1, 0.05])
+        ),
+        TicketDistribution(
+            source=0,
+            tickets_sent=12.0,
+            node_tickets=np.array([4.0, 3.0]),
+            reached=np.array([0, 1]),
+            edge_tickets={(0, 1): 2.0, (1, 2): 1.5},
+        ),
+        DatasetSummary(
+            name="facebook_a",
+            num_nodes=10,
+            num_edges=20,
+            slem=0.9,
+            paper_nodes=1000,
+            paper_edges=2000,
+            mixing_regime="slow",
+        ),
+        SnapshotMetrics(
+            step=1,
+            num_nodes=50,
+            num_edges=80,
+            slem=0.7,
+            degeneracy=4,
+            max_cores=2,
+            mean_small_set_expansion=1.8,
+        ),
+    ]
+
+
+def _fields_equal(a, b):
+    for field in dataclasses.fields(a):
+        x, y = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(x, np.ndarray):
+            assert np.array_equal(x, y), field.name
+            assert x.dtype == y.dtype, field.name
+        elif dataclasses.is_dataclass(x):
+            _fields_equal(x, y)
+        else:
+            assert x == y, field.name
+
+
+class TestRegisteredResultTypes:
+    def test_every_registered_type_has_an_instance(self):
+        covered = {type(obj).__name__ for obj in _instances()}
+        registered = {cls.__name__ for cls in registered_result_types()}
+        assert covered == registered
+
+    @pytest.mark.parametrize(
+        "instance", _instances(), ids=lambda obj: type(obj).__name__
+    )
+    def test_round_trip(self, instance, tmp_path):
+        path = tmp_path / "r.json"
+        save_results(instance, path)
+        loaded = load_results(path)
+        assert type(loaded) is type(instance)
+        _fields_equal(instance, loaded)
+
+    def test_graph_round_trip(self, ba_small):
+        restored = from_jsonable(to_jsonable(ba_small))
+        assert restored == ba_small
+
+    def test_ticket_plan_round_trip(self, ba_small):
+        plan = TicketPlan(ba_small, source=0)
+        restored = from_jsonable(to_jsonable(plan))
+        assert isinstance(restored, TicketPlan)
+        assert restored.source == plan.source
+        assert np.array_equal(restored.distances, plan.distances)
+        # the restored plan is functional, not just structurally equal
+        cold, warm = plan.run(8.0), restored.run(8.0)
+        assert np.array_equal(cold.node_tickets, warm.node_tickets)
+
+    def test_tuple_key_dict_round_trip(self):
+        payload = {(0, 1): 2.0, (3, 4): 5.0}
+        assert from_jsonable(to_jsonable(payload)) == payload
+
+    def test_unregistered_dataclass_names_offender(self, tmp_path):
+        @dataclasses.dataclass
+        class Mystery:
+            x: int
+
+        with pytest.raises(ReproError, match="Mystery"):
+            save_results(Mystery(x=1), tmp_path / "bad.json")
+        with pytest.raises(ReproError, match="register_result_type"):
+            to_jsonable(Mystery(x=1))
+
+    def test_register_rejects_non_dataclass(self):
+        with pytest.raises(ReproError):
+            register_result_type(dict)
+
+    def test_register_rejects_name_collision(self):
+        @dataclasses.dataclass
+        class MixingProfile:  # same name as the real one
+            x: int
+
+        with pytest.raises(ReproError):
+            register_result_type(MixingProfile)
 
 
 class TestPersistence:

@@ -72,3 +72,89 @@ class TestReport:
             ["report", "wiki_vote", "--scale", "0.05", "--output", str(target)]
         ) == 0
         assert "# Measurement report" in target.read_text()
+
+    def test_output_creates_missing_parents_and_prints_path(self, tmp_path, capsys):
+        target = tmp_path / "deeply" / "nested" / "dir" / "report.md"
+        assert main(
+            ["report", "wiki_vote", "--scale", "0.05", "--output", str(target)]
+        ) == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert str(target.resolve()) in out
+
+    def test_report_cache_dir_warms(self, tmp_path, capsys):
+        argv = [
+            "report", "wiki_vote", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+
+class TestPipeline:
+    ARGS = ["--target", "wiki_vote", "--scale", "0.05", "--sources", "5"]
+
+    def test_stages_lists_dag(self, capsys):
+        assert main(["pipeline", "stages", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        for stage in ("load", "mixing", "spectral", "cores", "expansion",
+                      "gatekeeper", "tables"):
+            assert stage in out
+
+    def test_run_without_cache(self, capsys):
+        assert main(["pipeline", "run", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "cache: disabled" in out
+        assert "results digest:" in out
+
+    def test_cold_then_warm_hits_cache(self, tmp_path, capsys):
+        argv = [
+            "pipeline", "run", *self.ARGS, "--cache-dir", str(tmp_path / "cache")
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "misses=7" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hits=7" in warm
+        assert "misses=0" in warm
+        digest = [l for l in cold.splitlines() if l.startswith("results digest:")]
+        assert digest == [
+            l for l in warm.splitlines() if l.startswith("results digest:")
+        ]
+
+    def test_stage_subset(self, tmp_path, capsys):
+        assert main(
+            ["pipeline", "run", *self.ARGS, "--stages", "cores",
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cores" in out
+        assert "gatekeeper" not in out
+
+
+class TestCacheDir:
+    def test_audit_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "audit", "wiki_vote", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm.splitlines()[:5] == cold.splitlines()[:5]
+        assert (tmp_path / "cache" / "index.json").exists()
+
+    def test_reproduce_cache_dir(self, tmp_path, capsys):
+        argv = [
+            "reproduce", "fig5", "--scale", "0.05",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold

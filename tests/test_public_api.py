@@ -29,6 +29,8 @@ PACKAGES = [
     "repro.anonymity",
     "repro.dtn",
     "repro.analysis",
+    "repro.store",
+    "repro.pipeline",
 ]
 
 
@@ -80,6 +82,8 @@ def test_errors_hierarchy():
         errors.DatasetError,
         errors.ConvergenceError,
         errors.SybilDefenseError,
+        errors.StoreError,
+        errors.PipelineError,
     ]
     for exc in subclasses:
         assert issubclass(exc, errors.ReproError), exc
