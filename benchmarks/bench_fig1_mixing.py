@@ -14,8 +14,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from conftest import publish
+from conftest import publish, publish_metrics
 
+from repro import telemetry
 from repro.analysis import figure1_mixing_profiles, format_table
 from repro.markov import clear_operator_cache
 
@@ -100,11 +101,14 @@ def test_fig1_engine_speedup(results_dir, scale, num_sources):
     _run(datasets, scale, 1)  # warm the dataset cache
     timings = {}
     profiles = {}
-    for strategy in ("sequential", "batched"):
-        clear_operator_cache()
-        start = time.perf_counter()
-        profiles[strategy] = _run(datasets, scale, num_sources, strategy=strategy)
-        timings[strategy] = time.perf_counter() - start
+    with telemetry.activate() as tel:
+        for strategy in ("sequential", "batched"):
+            clear_operator_cache()
+            start = time.perf_counter()
+            profiles[strategy] = _run(
+                datasets, scale, num_sources, strategy=strategy
+            )
+            timings[strategy] = time.perf_counter() - start
     speedup = timings["sequential"] / timings["batched"]
     rows = [
         ["sequential", f"{timings['sequential']:.3f}", "1.00x"],
@@ -119,6 +123,7 @@ def test_fig1_engine_speedup(results_dir, scale, num_sources):
         ),
     )
     publish(results_dir, "fig1_engine_speedup", rendered)
+    publish_metrics(results_dir, "fig1_engine_speedup_metrics", tel)
     # equivalence: identical TVD matrices, dataset by dataset
     for name in datasets:
         np.testing.assert_allclose(

@@ -11,8 +11,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from conftest import publish
+from conftest import publish, publish_metrics
 
+from repro import telemetry
 from repro.analysis import figure3_expansion_summaries, format_table
 
 DATASETS = [
@@ -96,10 +97,11 @@ def test_fig3_engine_speedup(results_dir, scale, num_sources):
     _run(scale, 1)  # warm the dataset cache
     timings = {}
     summaries = {}
-    for strategy in ("sequential", "batched"):
-        start = time.perf_counter()
-        summaries[strategy] = _run(scale, num_sources, strategy=strategy)
-        timings[strategy] = time.perf_counter() - start
+    with telemetry.activate() as tel:
+        for strategy in ("sequential", "batched"):
+            start = time.perf_counter()
+            summaries[strategy] = _run(scale, num_sources, strategy=strategy)
+            timings[strategy] = time.perf_counter() - start
     speedup = timings["sequential"] / timings["batched"]
     rows = [
         ["sequential", f"{timings['sequential']:.3f}", "1.00x"],
@@ -114,6 +116,7 @@ def test_fig3_engine_speedup(results_dir, scale, num_sources):
         ),
     )
     publish(results_dir, "fig3_engine_speedup", rendered)
+    publish_metrics(results_dir, "fig3_engine_speedup_metrics", tel)
     # equivalence: byte-identical Figure-3 aggregates, dataset by dataset
     for name in DATASETS:
         bat, seq = summaries["batched"][name], summaries["sequential"][name]

@@ -12,8 +12,9 @@ from __future__ import annotations
 import tempfile
 import time
 
-from conftest import publish
+from conftest import publish, publish_metrics
 
+from repro import telemetry
 from repro.analysis import format_table, table1_dataset_summary
 from repro.analysis.persistence import to_jsonable
 from repro.datasets import available_datasets
@@ -91,7 +92,9 @@ def test_pipeline_cache(results_dir, scale, num_sources):
     with tempfile.TemporaryDirectory() as tmp:
         from pathlib import Path
 
-        rows, speedups = _run_sweep(Path(tmp), scale, num_sources)
+        with telemetry.activate() as tel:
+            rows, speedups = _run_sweep(Path(tmp), scale, num_sources)
+    publish_metrics(results_dir, "bench_pipeline_cache_metrics", tel)
     rendered = format_table(
         ["Workload", "Cold", "Warm", "Speedup"],
         rows,

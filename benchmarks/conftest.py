@@ -52,3 +52,17 @@ def publish(results_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def publish_metrics(results_dir: Path, name: str, telemetry) -> Path:
+    """Save a telemetry registry's canonical JSON next to the artifacts.
+
+    Benchmarks record their hot runs through :mod:`repro.telemetry` and
+    publish the metrics document (``<name>.json``) beside the rendered
+    table, so the per-stage wall/CPU breakdown travels with the
+    headline numbers.
+    """
+    path = results_dir / f"{name}.json"
+    telemetry.write_json(path)
+    print(f"metrics written to {path}")
+    return path

@@ -31,6 +31,7 @@ Subpackages
 ``repro.analysis``   per-table/figure experiment runners
 ``repro.store``      content-addressed measurement artifact cache
 ``repro.pipeline``   declarative stage-DAG experiment runner
+``repro.telemetry``  span/counter/gauge instrumentation registry
 """
 
 from repro.analysis import (

@@ -21,7 +21,7 @@ from repro.analysis.persistence import (
     registered_result_types,
     save_results,
 )
-from repro.analysis.report import measurement_report
+from repro.analysis.report import measurement_report, telemetry_summary
 from repro.analysis.stats import ecdf, geometric_mean, spearman, summarize
 from repro.analysis.tables import format_series, format_table
 
@@ -50,4 +50,5 @@ __all__ = [
     "register_result_type",
     "registered_result_types",
     "measurement_report",
+    "telemetry_summary",
 ]

@@ -27,11 +27,64 @@ from repro.mixing.sampling import (
 )
 from repro.mixing.spectral import sinclair_bounds, slem
 from repro.store import ArtifactStore, memoize
+from repro.telemetry import Telemetry
 
-__all__ = ["measurement_report"]
+__all__ = ["measurement_report", "telemetry_summary"]
 
 #: Walk lengths the report's mixing profile evaluates.
 _REPORT_WALK_LENGTHS = [1, 2, 5, 10, 20, 40]
+
+
+def telemetry_summary(telemetry: Telemetry) -> str:
+    """Render a recorded :class:`~repro.telemetry.Telemetry` as tables.
+
+    Three sections — spans (wall/CPU totals, activation counts, sorted
+    by wall time), counters, gauges — in the same ``format_table``
+    style as every other report; the CLI's ``--trace`` flag prints
+    this.  Empty sections are omitted; an entirely empty registry
+    renders a one-line note instead.
+    """
+    from repro.analysis.tables import format_table
+
+    sections: list[str] = []
+    spans = telemetry.spans
+    if spans:
+        rows = [
+            [
+                path,
+                s.count,
+                f"{s.wall_seconds:.3f}",
+                f"{s.cpu_seconds:.3f}",
+            ]
+            for path, s in sorted(
+                spans.items(), key=lambda item: -item[1].wall_seconds
+            )
+        ]
+        sections.append(
+            format_table(
+                ["span", "count", "wall (s)", "cpu (s)"],
+                rows,
+                title="Telemetry — spans",
+            )
+        )
+    counters = telemetry.counters
+    if counters:
+        rows = [
+            [name, f"{value:.3f}" if isinstance(value, float) else value]
+            for name, value in sorted(counters.items())
+        ]
+        sections.append(
+            format_table(["counter", "value"], rows, title="Telemetry — counters")
+        )
+    gauges = telemetry.gauges
+    if gauges:
+        rows = [[name, f"{value:.3f}"] for name, value in sorted(gauges.items())]
+        sections.append(
+            format_table(["gauge", "value"], rows, title="Telemetry — gauges")
+        )
+    if not sections:
+        return "telemetry: nothing recorded"
+    return "\n\n".join(sections)
 
 
 def measurement_report(

@@ -12,13 +12,24 @@ or matrix would otherwise be pickled per worker.
 
 This module holds the one chunk planner and runner both engines share,
 so the two engines stay API-identical by construction.
+
+Zero sources are a legal plan: ``resolve_chunks(0, ...)`` returns an
+empty chunk list and ``run_chunks`` treats an empty list as a no-op
+(never opening a thread pool), so engine entry points handed an empty
+source set fall through to an empty result instead of crashing.
+
+Fan-out reports into :mod:`repro.telemetry`: per-chunk spans
+(``chunking.chunk``), chunk and source counters, and a worker
+utilization gauge (busy time across the pool / pool size x elapsed).
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
+from repro import telemetry
 from repro.errors import GraphError
 
 __all__ = ["DEFAULT_CHUNK_SIZE", "resolve_chunks", "run_chunks"]
@@ -33,7 +44,14 @@ DEFAULT_CHUNK_SIZE = 128
 def resolve_chunks(
     num_sources: int, chunk_size: int | None, workers: int | None
 ) -> list[slice]:
-    """Split ``num_sources`` columns into contiguous chunk slices."""
+    """Split ``num_sources`` columns into contiguous chunk slices.
+
+    ``num_sources == 0`` yields an empty plan (no chunks) regardless of
+    ``chunk_size``/``workers`` — it must not trip the positivity check,
+    which is about the *requested* chunk size, not the workload.
+    """
+    if num_sources == 0:
+        return []
     if chunk_size is None:
         size = DEFAULT_CHUNK_SIZE
         if workers is not None and workers > 1:
@@ -48,15 +66,65 @@ def resolve_chunks(
 
 
 def run_chunks(
-    run_chunk: Callable[[slice], None], chunks: list[slice], workers: int | None
+    run_chunk: Callable[[slice], None],
+    chunks: list[slice],
+    workers: int | None,
+    span: str | None = "chunking.chunk",
 ) -> None:
-    """Execute chunk jobs inline or on a bounded thread pool."""
+    """Execute chunk jobs inline or on a bounded thread pool.
+
+    An empty chunk list is a clean no-op — in particular it never
+    constructs a ``ThreadPoolExecutor`` (whose ``max_workers`` must be
+    positive).
+
+    ``span`` names the per-chunk telemetry span; pass ``None`` to keep
+    the chunk jobs un-spanned (schedulers whose jobs open their own
+    spans, like the pipeline's wave runner, use this so their span
+    paths stay rooted at the job names).
+    """
     if workers is not None and workers < 1:
         raise GraphError("workers must be positive")
+    if not chunks:
+        return
+    tel = telemetry.current()
+    if tel.enabled:
+        run_chunk = _instrumented(tel, run_chunk, span)
+        tel.count("chunking.chunks", len(chunks))
+        tel.count("chunking.sources", sum(c.stop - c.start for c in chunks))
     if workers is None or workers == 1 or len(chunks) == 1:
         for columns in chunks:
             run_chunk(columns)
         return
-    with ThreadPoolExecutor(max_workers=min(workers, len(chunks))) as pool:
+    pool_size = min(workers, len(chunks))
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=pool_size) as pool:
         # list() re-raises the first chunk failure, if any.
         list(pool.map(run_chunk, chunks))
+    if tel.enabled:
+        elapsed = time.perf_counter() - start
+        busy = tel.counter("chunking.busy_seconds")
+        tel.count("chunking.parallel_runs")
+        if elapsed > 0:
+            tel.gauge(
+                "chunking.worker_utilization",
+                min(1.0, busy / (pool_size * elapsed)) if busy else 0.0,
+            )
+
+
+def _instrumented(
+    tel: telemetry.Telemetry,
+    run_chunk: Callable[[slice], None],
+    span: str | None,
+) -> Callable[[slice], None]:
+    """Wrap a chunk job with a per-chunk span and busy-time accounting."""
+
+    def timed(columns: slice) -> None:
+        start = time.perf_counter()
+        if span is None:
+            run_chunk(columns)
+        else:
+            with tel.span(span):
+                run_chunk(columns)
+        tel.count("chunking.busy_seconds", time.perf_counter() - start)
+
+    return timed

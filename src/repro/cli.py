@@ -18,6 +18,12 @@ Commands
 
 ``audit``, ``report`` and ``reproduce`` accept the same ``--cache-dir``
 flag, sharing warm artifacts with the pipeline.
+
+Observability: every command accepts ``--metrics-out PATH``, which
+enables the :mod:`repro.telemetry` registry for the run and writes the
+canonical JSON metrics document (per-stage wall/CPU spans, store
+hit/miss counters, chunk fan-out counts) to ``PATH``; ``pipeline run
+--trace`` additionally prints the human-readable telemetry tables.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.datasets import available_datasets, dataset_spec, load_dataset
 from repro.expansion import envelope_expansion
 from repro.graph import largest_connected_component, read_edge_list
 from repro.mixing import is_fast_mixing, sinclair_bounds, slem
+from repro import telemetry
 from repro.pipeline import paper_measurement_pipeline
 from repro.store import ArtifactStore, memoize
 
@@ -331,13 +338,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("datasets", help="list bundled Table-I analogs")
+    metrics = argparse.ArgumentParser(add_help=False)
+    metrics.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="record telemetry and write the canonical JSON metrics "
+        "document to PATH",
+    )
+    sub.add_parser(
+        "datasets", help="list bundled Table-I analogs", parents=[metrics]
+    )
     cache_help = "artifact-cache directory for warm reruns"
-    audit = sub.add_parser("audit", help="audit a graph for defense readiness")
+    audit = sub.add_parser(
+        "audit", help="audit a graph for defense readiness", parents=[metrics]
+    )
     audit.add_argument("target", help="edge-list path or bundled dataset name")
     audit.add_argument("--scale", type=float, default=0.25)
     audit.add_argument("--cache-dir", help=cache_help)
-    repro = sub.add_parser("reproduce", help="regenerate a paper experiment")
+    repro = sub.add_parser(
+        "reproduce", help="regenerate a paper experiment", parents=[metrics]
+    )
     repro.add_argument(
         "experiment",
         choices=["table1", "fig1", "fig2", "table2", "fig3", "fig4", "fig5"],
@@ -345,7 +365,9 @@ def main(argv: list[str] | None = None) -> int:
     repro.add_argument("--scale", type=float, default=0.25)
     repro.add_argument("--cache-dir", help=cache_help)
     report = sub.add_parser(
-        "report", help="full markdown measurement report for a graph"
+        "report",
+        help="full markdown measurement report for a graph",
+        parents=[metrics],
     )
     report.add_argument("target", help="edge-list path or bundled dataset name")
     report.add_argument("--scale", type=float, default=0.25)
@@ -359,12 +381,18 @@ def main(argv: list[str] | None = None) -> int:
         ("run", "execute the DAG (warm stages are served from the cache)"),
         ("stages", "list the DAG stages and their dependencies"),
     ]:
-        cmd = pipe_sub.add_parser(verb, help=help_text)
+        cmd = pipe_sub.add_parser(verb, help=help_text, parents=[metrics])
         cmd.add_argument(
             "--target",
             required=True,
             help="edge-list path or bundled dataset name",
         )
+        if verb == "run":
+            cmd.add_argument(
+                "--trace",
+                action="store_true",
+                help="record telemetry and print the span/counter tables",
+            )
         cmd.add_argument("--scale", type=float, default=0.25)
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--sources", type=int, default=50)
@@ -382,7 +410,21 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "pipeline": _cmd_pipeline,
     }
-    return handlers[args.command](args)
+    metrics_out = getattr(args, "metrics_out", None)
+    trace = getattr(args, "trace", False)
+    if not metrics_out and not trace:
+        return handlers[args.command](args)
+    with telemetry.activate() as tel:
+        code = handlers[args.command](args)
+        if trace:
+            from repro.analysis import telemetry_summary
+
+            print()
+            print(telemetry_summary(tel))
+        if metrics_out:
+            written = tel.write_json(metrics_out)
+            print(f"metrics written to {written}")
+    return code
 
 
 if __name__ == "__main__":

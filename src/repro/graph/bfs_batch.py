@@ -40,6 +40,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 from repro.graph.core import Graph
@@ -156,23 +157,29 @@ def bfs_level_sizes_block(
     chosen = validate_sources(graph.num_nodes, sources)
     if max_levels is not None and max_levels < 0:
         raise GraphError("max_levels must be non-negative")
-    chunks = resolve_chunks(chosen.size, chunk_size, workers)
-    chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
-    adjacency = _adjacency_operator(graph)
-    results: list[np.ndarray | None] = [None] * len(chunks)
+    tel = telemetry.current()
+    with tel.span("graph.bfs.level_sizes"):
+        tel.count("graph.bfs.sources", int(chosen.size))
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
+        adjacency = _adjacency_operator(graph)
+        results: list[np.ndarray | None] = [None] * len(chunks)
 
-    def run_chunk(columns: slice) -> None:
-        results[chunk_index[(columns.start, columns.stop)]] = _bfs_chunk(
-            adjacency, graph.num_nodes, chosen[columns], max_levels, None
-        )
+        def run_chunk(columns: slice) -> None:
+            with tel.span("graph.bfs.frontier_chunk"):
+                block = _bfs_chunk(
+                    adjacency, graph.num_nodes, chosen[columns], max_levels, None
+                )
+            results[chunk_index[(columns.start, columns.stop)]] = block
+            tel.count("graph.bfs.levels", int(block.shape[1]))
 
-    run_chunks(run_chunk, chunks, workers)
-    blocks = [block for block in results if block is not None]
-    width = max(block.shape[1] for block in blocks)
-    out = np.zeros((chosen.size, width), dtype=np.int64)
-    for columns, block in zip(chunks, blocks):
-        out[columns, : block.shape[1]] = block
-    return out
+        run_chunks(run_chunk, chunks, workers)
+        blocks = [block for block in results if block is not None]
+        width = max(block.shape[1] for block in blocks)
+        out = np.zeros((chosen.size, width), dtype=np.int64)
+        for columns, block in zip(chunks, blocks):
+            out[columns, : block.shape[1]] = block
+        return out
 
 
 def bfs_distances_block(
@@ -191,18 +198,23 @@ def bfs_distances_block(
     set.
     """
     chosen = validate_sources(graph.num_nodes, sources)
-    chunks = resolve_chunks(chosen.size, chunk_size, workers)
-    adjacency = _adjacency_operator(graph)
-    out = np.full((chosen.size, graph.num_nodes), _UNREACHED, dtype=np.int64)
+    tel = telemetry.current()
+    with tel.span("graph.bfs.distances"):
+        tel.count("graph.bfs.sources", int(chosen.size))
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        adjacency = _adjacency_operator(graph)
+        out = np.full((chosen.size, graph.num_nodes), _UNREACHED, dtype=np.int64)
 
-    def run_chunk(columns: slice) -> None:
-        _bfs_chunk(
-            adjacency,
-            graph.num_nodes,
-            chosen[columns],
-            None,
-            out[columns],
-        )
+        def run_chunk(columns: slice) -> None:
+            with tel.span("graph.bfs.frontier_chunk"):
+                block = _bfs_chunk(
+                    adjacency,
+                    graph.num_nodes,
+                    chosen[columns],
+                    None,
+                    out[columns],
+                )
+            tel.count("graph.bfs.levels", int(block.shape[1]))
 
-    run_chunks(run_chunk, chunks, workers)
-    return out
+        run_chunks(run_chunk, chunks, workers)
+        return out

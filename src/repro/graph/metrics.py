@@ -69,7 +69,8 @@ def eccentricities(
     ``strategy="batched"`` (default) derives every eccentricity from one
     block-BFS level-size matrix (a source's eccentricity is its deepest
     nonempty level); ``"sequential"`` runs :func:`eccentricity` per
-    source.  Both agree exactly.
+    source.  Both agree exactly.  An explicitly empty ``sources`` list
+    is legal and returns an empty array (there is nothing to measure).
     """
     if graph.num_nodes == 0:
         raise EmptyGraphError("eccentricity of an empty graph is undefined")
@@ -78,6 +79,10 @@ def eccentricities(
         if sources is None
         else np.asarray(list(sources), dtype=np.int64)
     )
+    if chosen.size == 0:
+        if strategy not in ("batched", "sequential"):
+            raise GraphError(f"unknown strategy {strategy!r}")
+        return np.empty(0, dtype=np.int64)
     if strategy == "sequential":
         return np.array(
             [eccentricity(graph, int(v)) for v in chosen], dtype=np.int64

@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro import telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 
@@ -129,23 +130,38 @@ def batched_tvd_profile(
     ``stationary``.  Sources are evolved as dense column blocks of at
     most ``chunk_size`` columns (default ``DEFAULT_CHUNK_SIZE``); with
     ``workers`` the independent chunks run on a thread pool.
+
+    An empty source array is legal and returns the empty
+    ``(0, len(walk_lengths))`` matrix (walk lengths are still
+    validated) — the engine-level face of the chunk planner's
+    empty-plan semantics.
     """
     lengths = validate_walk_lengths(walk_lengths)
     chosen = np.asarray(list(sources), dtype=np.int64)
-    n = matrix.shape[0]
-    full_block = delta_block(n, chosen)
-    tvd = np.empty((chosen.size, lengths.size))
-    chunks = resolve_chunks(chosen.size, chunk_size, workers)
-    transposed = matrix.T
+    if chosen.size == 0:
+        return np.empty((0, lengths.size))
+    tel = telemetry.current()
+    with tel.span("markov.batch.tvd_profile"):
+        tel.count("markov.batch.sources", int(chosen.size))
+        n = matrix.shape[0]
+        full_block = delta_block(n, chosen)
+        tvd = np.empty((chosen.size, lengths.size))
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        transposed = matrix.T
 
-    def run_chunk(columns: slice) -> None:
-        block = full_block[:, columns]
-        step = 0
-        for col, target in enumerate(lengths):
-            for _ in range(int(target) - step):
-                block = transposed @ block
-            step = int(target)
-            tvd[columns, col] = _tvd_rows(block, stationary)
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.batch.evolve_chunk"):
+                block = full_block[:, columns]
+                step = 0
+                for col, target in enumerate(lengths):
+                    for _ in range(int(target) - step):
+                        block = transposed @ block
+                    step = int(target)
+                    tvd[columns, col] = _tvd_rows(block, stationary)
+            tel.count(
+                "markov.batch.steps",
+                int(lengths[-1]) * (columns.stop - columns.start),
+            )
 
-    run_chunks(run_chunk, chunks, workers)
-    return tvd
+        run_chunks(run_chunk, chunks, workers)
+        return tvd

@@ -63,9 +63,24 @@ def slem(graph: Graph, tol: float = 1e-10, dense_threshold: int = 400) -> float:
     Small graphs are solved densely; larger ones via Lanczos on the
     normalized adjacency (asking for the three largest-magnitude
     eigenvalues and discarding the leading 1).
+
+    Disconnected graphs are rejected up front: eigenvalue 1 has one
+    multiplicity per component, so the "second" eigenvalue is a
+    (numerically duplicated) 1 and every finite mixing bound downstream
+    would fail with an unhelpful range error.  Measure the largest
+    connected component instead
+    (:func:`repro.graph.ops.largest_connected_component`).
     """
     if graph.num_nodes < 2:
         raise GraphError("SLEM needs at least 2 nodes")
+    from repro.graph.traversal import is_connected
+
+    if not is_connected(graph):
+        raise GraphError(
+            "graph is disconnected: the walk cannot mix across components "
+            "(eigenvalue 1 is repeated, so the SLEM is 1 and every mixing "
+            "bound is infinite); take the largest connected component first"
+        )
     matrix = normalized_adjacency(graph)
     n = graph.num_nodes
     if n <= dense_threshold:
@@ -78,8 +93,7 @@ def slem(graph: Graph, tol: float = 1e-10, dense_threshold: int = 400) -> float:
         raise ConvergenceError(f"Lanczos failed to converge: {exc}") from exc
     magnitudes = np.sort(np.abs(values))[::-1]
     # the leading eigenvalue of a connected graph is exactly 1; the next
-    # magnitude is the SLEM.  Guard against numerically duplicated 1s on
-    # disconnected graphs by clipping.
+    # magnitude is the SLEM (clip numerical overshoot just above 1).
     return float(min(magnitudes[1], 1.0))
 
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from repro import telemetry
 from repro.chunking import run_chunks
 from repro.cores.statistics import core_structure
 from repro.datasets import available_datasets, dataset_fingerprint, load_dataset
@@ -106,11 +107,16 @@ class Stage:
 
 @dataclass(frozen=True)
 class StageRun:
-    """Execution record for one stage of one run."""
+    """Execution record for one stage of one run.
+
+    ``seconds`` is wall-clock; ``cpu_seconds`` is the thread-CPU time
+    the stage consumed (0 for cache hits, which only deserialize).
+    """
 
     name: str
     cached: bool
     seconds: float
+    cpu_seconds: float = 0.0
 
 
 class PipelineResult:
@@ -146,12 +152,15 @@ class PipelineResult:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def summary(self) -> str:
-        """Human-readable per-stage status table."""
+        """Human-readable per-stage status table (wall and CPU seconds)."""
         width = max((len(r.name) for r in self.runs), default=5)
-        lines = [f"{'stage':<{width}}  status    seconds"]
+        lines = [f"{'stage':<{width}}  status    seconds  cpu-sec"]
         for r in self.runs:
             status = "cached" if r.cached else "computed"
-            lines.append(f"{r.name:<{width}}  {status:<8}  {r.seconds:7.3f}")
+            lines.append(
+                f"{r.name:<{width}}  {status:<8}  {r.seconds:7.3f}  "
+                f"{r.cpu_seconds:7.3f}"
+            )
         return "\n".join(lines)
 
 
@@ -262,12 +271,15 @@ class Pipeline:
         subject: str | None = None
         done: set[str] = set()
         pending = [n for n in self._order if n in needed]
+        tel = telemetry.current()
         while pending:
             ready = [
                 n for n in pending if all(d in done for d in self._stages[n].deps)
             ]
             if not ready:  # pragma: no cover - ctor already rejects cycles
                 raise PipelineError("pipeline stalled; dependency cycle at runtime")
+            tel.count("pipeline.waves")
+            tel.gauge_max("pipeline.max_wave_occupancy", len(ready))
 
             def run_one(columns: slice) -> None:
                 for name in ready[columns]:
@@ -277,6 +289,7 @@ class Pipeline:
                 run_one,
                 [slice(i, i + 1) for i in range(len(ready))],
                 self._workers,
+                span=None,
             )
             done.update(ready)
             pending = [n for n in pending if n not in done]
@@ -292,7 +305,9 @@ class Pipeline:
     def _run_stage(
         self, stage: Stage, results: dict[str, Any], subject: str | None
     ) -> StageRun:
+        tel = telemetry.current()
         start = time.perf_counter()
+        cpu_start = time.thread_time()
         key_digest = stage.digest if stage.digest is not None else subject
         use_store = (
             self._store is not None and stage.cacheable and key_digest is not None
@@ -305,14 +320,28 @@ class Pipeline:
             )
             if value is not miss:
                 results[stage.name] = value
-                return StageRun(stage.name, True, time.perf_counter() - start)
-        value = stage.fn({d: results[d] for d in stage.deps})
+                tel.count("pipeline.stage_cache_hits")
+                tel.count(f"pipeline.stage.{stage.name}.cache_hits")
+                return StageRun(
+                    stage.name,
+                    True,
+                    time.perf_counter() - start,
+                    time.thread_time() - cpu_start,
+                )
+        with tel.span(f"pipeline.stage.{stage.name}"):
+            value = stage.fn({d: results[d] for d in stage.deps})
         if use_store:
             self._store.put(
                 key_digest, stage.name, stage.params, value, version=stage.version
             )
         results[stage.name] = value
-        return StageRun(stage.name, False, time.perf_counter() - start)
+        tel.count("pipeline.stage_computed")
+        return StageRun(
+            stage.name,
+            False,
+            time.perf_counter() - start,
+            time.thread_time() - cpu_start,
+        )
 
 
 def _target_digest(target: str, scale: float, seed: int) -> str:

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
+from repro import telemetry
 from repro.errors import StoreError
 from repro.graph.core import Graph
 
@@ -112,13 +113,30 @@ def canonical_params(params: Mapping[str, Any] | None) -> str:
 
 @dataclass
 class StoreStats:
-    """Hit/miss/write counters for one :class:`ArtifactStore` instance."""
+    """Hit/miss/write counters for one :class:`ArtifactStore` instance.
+
+    Counters are updated through :meth:`increment`, which is atomic —
+    the pipeline's wave scheduler shares one store across worker
+    threads, and an unguarded ``+=`` on plain ints drops updates under
+    that interleaving.  Every increment is also mirrored into the
+    active :mod:`repro.telemetry` registry as ``store.<counter>``, so
+    cache traffic lands in the same metrics document as compute spans.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
     corrupt: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def increment(self, counter: str, value: int = 1) -> None:
+        """Atomically add ``value`` to ``counter`` and mirror to telemetry."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + value)
+        telemetry.current().count(f"store.{counter}", value)
 
     def as_line(self) -> str:
         """One-line summary, stable enough to grep in CI logs."""
@@ -218,7 +236,7 @@ class ArtifactStore:
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
-            self._stats.misses += 1
+            self._stats.increment("misses")
             return default
         try:
             payload = json.loads(raw)
@@ -226,11 +244,11 @@ class ArtifactStore:
                 raise StoreError(f"entry {key[:12]} holds a foreign key")
             value = _codec().from_jsonable(payload["value"])
         except Exception:
-            self._stats.corrupt += 1
-            self._stats.misses += 1
+            self._stats.increment("corrupt")
+            self._stats.increment("misses")
             self._discard(key, path)
             return default
-        self._stats.hits += 1
+        self._stats.increment("hits")
         return value
 
     def put(
@@ -270,7 +288,7 @@ class ArtifactStore:
                 version=int(version),
                 created=time.time(),
             )
-            self._stats.writes += 1
+            self._stats.increment("writes")
             self._evict_locked()
             self._write_index_locked()
         return key
@@ -372,7 +390,7 @@ class ArtifactStore:
                 self._object_path(oldest).unlink()
             except OSError:
                 pass
-            self._stats.evictions += 1
+            self._stats.increment("evictions")
 
     def _write_index_locked(self) -> None:
         self._root.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,303 @@
+"""Lightweight instrumentation: span timers, counters and gauges.
+
+Every hot layer of the library — the chunk planner/runner
+(:mod:`repro.chunking`), the batched walk and BFS engines
+(:mod:`repro.markov.batch`, :mod:`repro.graph.bfs_batch`), the artifact
+store (:mod:`repro.store`) and the stage-DAG pipeline
+(:mod:`repro.pipeline`) — reports into one shared :class:`Telemetry`
+registry, so a single run can answer "where did the time go, and what
+did the cache do?" without ad-hoc timers.
+
+Three instrument kinds:
+
+* **Spans** — nestable wall + CPU timers.  ``with tel.span("mixing"):``
+  aggregates all activations of the same *path* (nested spans get
+  dot-joined names, ``pipeline.stage.mixing/chunking.chunk``-style) into
+  one :class:`SpanStats` row: activation count, total wall seconds,
+  total thread-CPU seconds.  Nesting is tracked per thread, so spans
+  opened inside worker threads attribute correctly.
+* **Counters** — monotonically accumulated named integers/floats
+  (``tel.count("store.hits")``).  Increments are lock-guarded, so
+  counters are exact under the thread fan-out the engines use.
+* **Gauges** — last-value (``tel.gauge``) or running-max
+  (``tel.gauge_max``) observations, e.g. pipeline wave occupancy.
+
+The module-level registry defaults to a **no-op** instance: every
+``span``/``count``/``gauge`` call on a disabled :class:`Telemetry`
+returns immediately (spans hand back one shared null context manager),
+so instrumented hot paths cost a single attribute check when telemetry
+is off.  :func:`enable` installs a recording registry;
+:func:`activate` scopes one to a ``with`` block (tests, benchmarks).
+
+:meth:`Telemetry.to_json` renders a canonical metrics document — schema
+version, sorted keys, stable float formatting via ``json`` — suitable
+for diffing across runs and for the ``--metrics-out`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SpanStats",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "enable",
+    "disable",
+    "activate",
+]
+
+#: Version of the metrics-document schema emitted by :meth:`Telemetry.as_dict`.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings for every activation of one span path."""
+
+    name: str
+    count: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span activation; records into its registry on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_path", "_wall0", "_cpu0")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        stack = self._telemetry._span_stack()
+        self._path = f"{stack[-1]}/{self._name}" if stack else self._name
+        stack.append(self._path)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.thread_time() - self._cpu0
+        stack = self._telemetry._span_stack()
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        self._telemetry._record_span(self._path, wall, cpu)
+        return False
+
+
+class Telemetry:
+    """Thread-safe registry of spans, counters and gauges.
+
+    A disabled instance (``enabled=False``) accepts every call as a
+    near-free no-op, which is what lets the hot paths stay instrumented
+    unconditionally.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._lock = threading.Lock()
+        self._spans: dict[str, SpanStats] = {}
+        self._counters: dict[str, int | float] = {}
+        self._gauges: dict[str, float] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this registry records anything."""
+        return self._enabled
+
+    def span(self, name: str) -> _Span | _NullSpan:
+        """Context manager timing one activation of span ``name``.
+
+        Activations nested (per thread) inside another span get
+        ``parent/child`` paths; repeated activations of the same path
+        aggregate into one :class:`SpanStats`.
+        """
+        if not self._enabled:
+            return _NULL_SPAN
+        return _Span(self, name)
+
+    def count(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to counter ``name`` (atomic; creates at 0)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last observation wins)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (running max)."""
+        if not self._enabled:
+            return
+        with self._lock:
+            prev = self._gauges.get(name)
+            if prev is None or value > prev:
+                self._gauges[name] = float(value)
+
+    def reset(self) -> None:
+        """Drop every recorded span, counter and gauge."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> dict[str, SpanStats]:
+        """Copy of the aggregated spans, keyed by path."""
+        with self._lock:
+            return {
+                path: SpanStats(s.name, s.count, s.wall_seconds, s.cpu_seconds)
+                for path, s in self._spans.items()
+            }
+
+    @property
+    def counters(self) -> dict[str, int | float]:
+        """Copy of the counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    @property
+    def gauges(self) -> dict[str, float]:
+        """Copy of the gauges."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def counter(self, name: str) -> int | float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The metrics document as a plain dict (see :data:`SCHEMA_VERSION`).
+
+        Keys are deterministic for a deterministic run: sorted span
+        paths, counter and gauge names.  Timing *values* naturally vary
+        between runs; the stable key structure is what makes two
+        documents diffable.
+        """
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "spans": {
+                    path: {
+                        "count": s.count,
+                        "wall_seconds": s.wall_seconds,
+                        "cpu_seconds": s.cpu_seconds,
+                    }
+                    for path, s in sorted(self._spans.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            }
+
+    def to_json(self) -> str:
+        """Canonical JSON rendering of :meth:`as_dict` (sorted keys)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the canonical metrics document to ``path`` (mkdir -p)."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _span_stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record_span(self, path: str, wall: float, cpu: float) -> None:
+        name = path.rsplit("/", 1)[-1]
+        with self._lock:
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats(name)
+            stats.count += 1
+            stats.wall_seconds += wall
+            stats.cpu_seconds += cpu
+
+
+#: The shared always-disabled instance; the registry's default.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_active = NULL_TELEMETRY
+_active_lock = threading.Lock()
+
+
+def current() -> Telemetry:
+    """The active registry (the no-op :data:`NULL_TELEMETRY` by default)."""
+    return _active
+
+
+def enable() -> Telemetry:
+    """Install and return a fresh recording registry."""
+    global _active
+    with _active_lock:
+        _active = Telemetry()
+        return _active
+
+
+def disable() -> None:
+    """Restore the no-op default registry."""
+    global _active
+    with _active_lock:
+        _active = NULL_TELEMETRY
+
+
+@contextmanager
+def activate(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
+    """Scope ``telemetry`` (default: a fresh registry) to a ``with`` block."""
+    global _active
+    scoped = Telemetry() if telemetry is None else telemetry
+    with _active_lock:
+        previous = _active
+        _active = scoped
+    try:
+        yield scoped
+    finally:
+        with _active_lock:
+            _active = previous

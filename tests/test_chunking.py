@@ -1,0 +1,198 @@
+"""Unit and regression tests for the shared chunk planner/runner.
+
+Covers the two confirmed empty-source-set crashes (PR 4):
+
+* ``resolve_chunks(0, None, workers=4)`` used to raise
+  ``GraphError("chunk_size must be positive")`` because the
+  worker-spread heuristic computed a chunk size of 0.
+* ``run_chunks(fn, [], workers>1)`` used to raise
+  ``ValueError: max_workers must be greater than 0`` from
+  ``ThreadPoolExecutor(max_workers=0)``.
+
+Both are also pinned where users hit them: the public entry points of
+the BFS engine (``graph.metrics.eccentricities``) and the walk engine
+(``markov.batch.batched_tvd_profile`` / ``TransitionOperator``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
+from repro.errors import GraphError
+from repro.graph.metrics import eccentricities
+from repro.markov.batch import batched_tvd_profile
+from repro.markov.transition import TransitionOperator
+
+
+class TestEmptySourceRegressions:
+    """Failing-before/passing-after pins for the confirmed crashes."""
+
+    def test_resolve_chunks_zero_sources_with_worker_spread(self):
+        # regression: the workers>1 heuristic computed ceil(0/4) == 0
+        # and tripped the chunk-size positivity check
+        assert resolve_chunks(0, None, workers=4) == []
+
+    @pytest.mark.parametrize("chunk_size", [None, 1, 64])
+    @pytest.mark.parametrize("workers", [None, 1, 4])
+    def test_resolve_chunks_zero_sources_all_knobs(self, chunk_size, workers):
+        assert resolve_chunks(0, chunk_size, workers) == []
+
+    def test_run_chunks_empty_list_parallel_is_noop(self):
+        # regression: ThreadPoolExecutor(max_workers=min(4, 0)) raised
+        calls: list[slice] = []
+        run_chunks(calls.append, [], workers=4)
+        assert calls == []
+
+    @pytest.mark.parametrize("workers", [None, 1, 4])
+    def test_run_chunks_empty_list_is_noop(self, workers):
+        calls: list[slice] = []
+        run_chunks(calls.append, [], workers=workers)
+        assert calls == []
+
+    def test_eccentricities_empty_sources(self, ba_small):
+        # the BFS engine's public face: empty sources -> empty result
+        out = eccentricities(ba_small, sources=[], workers=4)
+        assert out.shape == (0,)
+        assert out.dtype == np.int64
+
+    def test_eccentricities_empty_sources_sequential(self, ba_small):
+        out = eccentricities(ba_small, sources=[], strategy="sequential")
+        assert out.shape == (0,)
+
+    def test_eccentricities_empty_sources_unknown_strategy_rejected(
+        self, ba_small
+    ):
+        with pytest.raises(GraphError):
+            eccentricities(ba_small, sources=[], strategy="bogus")
+
+    def test_batched_tvd_profile_empty_sources(self, k5):
+        # the walk engine's public face: (0, len(walk_lengths)) result
+        op = TransitionOperator(k5)
+        tvd = batched_tvd_profile(
+            op.matrix, op.stationary, [], [1, 2, 5], workers=4
+        )
+        assert tvd.shape == (0, 3)
+
+    def test_batched_tvd_profile_empty_sources_still_validates_lengths(
+        self, k5
+    ):
+        op = TransitionOperator(k5)
+        with pytest.raises(GraphError):
+            batched_tvd_profile(op.matrix, op.stationary, [], [2, 1])
+
+    def test_evolve_many_zero_column_block(self, k5):
+        op = TransitionOperator(k5)
+        block = np.zeros((5, 0))
+        out = op.evolve_many(block, steps=3, chunk_size=2, workers=4)
+        assert out.shape == (5, 0)
+
+
+class TestResolveChunksGrid:
+    """Parametrized edge-case grid: coverage is an exact disjoint
+    partition of [0, num_sources) in order."""
+
+    @pytest.mark.parametrize("num_sources", [0, 1, 63, 64, 65, 1000])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 64])
+    @pytest.mark.parametrize("workers", [None, 1, 4])
+    def test_exact_disjoint_partition(self, num_sources, chunk_size, workers):
+        chunks = resolve_chunks(num_sources, chunk_size, workers)
+        covered = np.concatenate(
+            [np.arange(c.start, c.stop) for c in chunks]
+            or [np.empty(0, dtype=np.int64)]
+        )
+        assert np.array_equal(covered, np.arange(num_sources))
+        for c in chunks:
+            assert c.start < c.stop  # no empty chunks in the plan
+        if num_sources == 0:
+            assert chunks == []
+
+    @pytest.mark.parametrize("num_sources", [1, 63, 64, 65, 1000])
+    def test_explicit_chunk_size_respected(self, num_sources):
+        chunks = resolve_chunks(num_sources, 64, None)
+        assert all(c.stop - c.start <= 64 for c in chunks)
+        assert all(c.stop - c.start == 64 for c in chunks[:-1])
+
+    def test_worker_spread_heuristic_fills_the_pool(self):
+        # 100 sources over 4 workers: the default 128-chunk would leave
+        # 3 workers idle; the heuristic shrinks chunks to ceil(100/4)
+        chunks = resolve_chunks(100, None, workers=4)
+        assert len(chunks) == 4
+        assert all(c.stop - c.start <= 25 for c in chunks)
+
+    def test_default_chunk_size_without_workers(self):
+        chunks = resolve_chunks(1000, None, None)
+        assert chunks[0] == slice(0, DEFAULT_CHUNK_SIZE)
+
+    def test_nonpositive_chunk_size_rejected(self):
+        with pytest.raises(GraphError):
+            resolve_chunks(10, 0, None)
+        with pytest.raises(GraphError):
+            resolve_chunks(10, -3, None)
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(GraphError):
+            run_chunks(lambda c: None, [slice(0, 1)], workers=0)
+
+
+class TestRunChunksDeterminism:
+    @pytest.mark.parametrize("num_sources", [1, 63, 64, 65, 1000])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 64])
+    @pytest.mark.parametrize("workers", [None, 1, 4])
+    def test_disjoint_writes_are_deterministic(
+        self, num_sources, chunk_size, workers
+    ):
+        chunks = resolve_chunks(num_sources, chunk_size, workers)
+        out = np.zeros(num_sources, dtype=np.int64)
+
+        def fill(columns: slice) -> None:
+            out[columns] = np.arange(columns.start, columns.stop)
+
+        run_chunks(fill, chunks, workers)
+        assert np.array_equal(out, np.arange(num_sources))
+
+    def test_every_chunk_runs_exactly_once_parallel(self):
+        chunks = resolve_chunks(257, 16, 4)
+        seen: list[tuple[int, int]] = []
+        lock = threading.Lock()
+
+        def record(columns: slice) -> None:
+            with lock:
+                seen.append((columns.start, columns.stop))
+
+        run_chunks(record, chunks, workers=4)
+        assert sorted(seen) == [(c.start, c.stop) for c in chunks]
+
+    def test_chunk_failure_propagates(self):
+        def boom(columns: slice) -> None:
+            raise RuntimeError("chunk failed")
+
+        with pytest.raises(RuntimeError):
+            run_chunks(boom, resolve_chunks(10, 2, 4), workers=4)
+
+
+class TestChunkingTelemetry:
+    def test_fanout_reports_chunks_and_sources(self):
+        with telemetry.activate() as tel:
+            chunks = resolve_chunks(100, 10, 4)
+            run_chunks(lambda c: None, chunks, workers=4)
+        assert tel.counter("chunking.chunks") == 10
+        assert tel.counter("chunking.sources") == 100
+        assert tel.spans["chunking.chunk"].count == 10
+        assert tel.counter("chunking.parallel_runs") == 1
+        assert 0.0 <= tel.gauges["chunking.worker_utilization"] <= 1.0
+
+    def test_inline_run_has_no_parallel_metrics(self):
+        with telemetry.activate() as tel:
+            run_chunks(lambda c: None, resolve_chunks(10, 5, None), None)
+        assert tel.counter("chunking.parallel_runs") == 0
+        assert "chunking.worker_utilization" not in tel.gauges
+
+    def test_disabled_registry_records_nothing(self):
+        chunks = resolve_chunks(100, 10, 4)
+        run_chunks(lambda c: None, chunks, workers=4)
+        assert telemetry.current().counters == {}

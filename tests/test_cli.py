@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -134,6 +136,76 @@ class TestPipeline:
         out = capsys.readouterr().out
         assert "cores" in out
         assert "gatekeeper" not in out
+
+
+class TestObservability:
+    ARGS = ["--target", "wiki_vote", "--scale", "0.05", "--sources", "5"]
+
+    def test_trace_prints_summary_table(self, capsys):
+        assert main(["pipeline", "run", *self.ARGS, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Telemetry — spans" in out
+        assert "pipeline.stage.load" in out
+        assert "chunking.chunks" in out
+
+    def test_metrics_out_writes_canonical_json(self, tmp_path, capsys):
+        target = tmp_path / "metrics" / "m.json"
+        assert main(
+            ["pipeline", "run", *self.ARGS, "--metrics-out", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {target.resolve()}" in out
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == 1
+        for stage in ("load", "mixing", "spectral", "cores", "expansion",
+                      "gatekeeper", "tables"):
+            span = doc["spans"][f"pipeline.stage.{stage}"]
+            assert span["count"] == 1
+            assert span["wall_seconds"] >= 0.0
+            assert span["cpu_seconds"] >= 0.0
+        assert doc["counters"]["pipeline.stage_computed"] == 7
+        assert doc["counters"]["chunking.chunks"] >= 1
+        assert doc["gauges"]["pipeline.max_wave_occupancy"] >= 1
+        # canonical form: re-serialising the parse is byte-identical
+        assert (
+            json.dumps(doc, sort_keys=True, indent=2) + "\n"
+            == target.read_text()
+        )
+
+    def test_warm_run_metrics_show_memoization_hits(self, tmp_path, capsys):
+        argv = [
+            "pipeline", "run", *self.ARGS,
+            "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-out", str(tmp_path / "m.json"),
+        ]
+        assert main(argv) == 0
+        cold = json.loads((tmp_path / "m.json").read_text())
+        assert cold["counters"]["store.misses"] == 7
+        assert cold["counters"]["store.writes"] == 7
+        assert main(argv) == 0
+        warm = json.loads((tmp_path / "m.json").read_text())
+        assert warm["counters"]["store.hits"] == 7
+        assert warm["counters"]["pipeline.stage_cache_hits"] == 7
+        assert warm["counters"]["pipeline.stage.load.cache_hits"] == 1
+        assert "pipeline.stage_computed" not in warm["counters"]
+        capsys.readouterr()
+
+    def test_metrics_out_on_report_command(self, tmp_path, capsys):
+        target = tmp_path / "m.json"
+        assert main(
+            ["report", "wiki_vote", "--scale", "0.05",
+             "--metrics-out", str(target)]
+        ) == 0
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == 1
+        capsys.readouterr()
+
+    def test_telemetry_off_by_default(self, capsys):
+        from repro import telemetry
+
+        assert main(["pipeline", "run", *self.ARGS]) == 0
+        assert telemetry.current() is telemetry.NULL_TELEMETRY
+        assert "Telemetry — spans" not in capsys.readouterr().out
 
 
 class TestCacheDir:

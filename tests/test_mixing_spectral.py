@@ -70,6 +70,30 @@ class TestSlem:
         with pytest.raises(GraphError):
             slem(Graph.empty(1))
 
+    def test_disconnected_rejected_with_diagnosis(self):
+        # two triangles with no edge between them
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        )
+        with pytest.raises(GraphError, match="disconnected"):
+            slem(g)
+
+    def test_disconnected_rejected_on_sparse_path(self):
+        # two BA components, well above the dense threshold, so the
+        # guard fires before Lanczos ever sees the repeated eigenvalue 1
+        a = barabasi_albert(300, 3, seed=0)
+        b = barabasi_albert(300, 3, seed=1)
+        edges = list(a.edges())
+        edges += [(u + 300, v + 300) for u, v in b.edges()]
+        g = Graph.from_edges(edges, num_nodes=600)
+        with pytest.raises(GraphError, match="connected component"):
+            slem(g, dense_threshold=400)
+
+    def test_isolated_node_counts_as_disconnected(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], num_nodes=4)
+        with pytest.raises(GraphError, match="disconnected"):
+            slem(g)
+
     def test_gap_complement(self, k5):
         assert spectral_gap(k5) == pytest.approx(1 - slem(k5))
 

@@ -31,6 +31,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.store",
     "repro.pipeline",
+    "repro.telemetry",
 ]
 
 

@@ -33,8 +33,16 @@ class TestDisconnectedGraphs:
         )
         assert profile.mean[-1] > 0.1
 
-    def test_slem_at_one(self, disconnected):
-        assert slem(disconnected) == pytest.approx(1.0, abs=1e-9)
+    def test_slem_rejects_with_diagnosis(self, disconnected):
+        """The repeated eigenvalue 1 used to surface as an opaque
+        numerical result (dense path) or Lanczos failure (sparse path);
+        the guard now names the problem and the remedy."""
+        with pytest.raises(GraphError, match="disconnected"):
+            slem(disconnected)
+
+    def test_slem_of_largest_component_works(self, disconnected):
+        component, _ = largest_connected_component(disconnected)
+        assert 0.0 <= slem(component) < 1.0
 
     def test_core_structure_counts_components(self, disconnected):
         structure = core_structure(disconnected)

@@ -214,6 +214,49 @@ class TestConcurrency:
         for i in range(5):
             assert a.get(triangle, "s", {"k": i}) == {"payload": i}
 
+    def test_memoize_counters_exact_under_threads(self, store, triangle):
+        """Every memoize call performs exactly one lookup, so after any
+        interleaving ``hits + misses`` equals the number of calls and
+        ``writes`` equals ``misses``.  Before StoreStats took a lock,
+        racing unguarded ``+=`` updates silently lost increments under
+        the pipeline's wave scheduler."""
+        num_threads, rounds, keyspace = 8, 25, 5
+        barrier = threading.Barrier(num_threads)
+
+        def worker():
+            barrier.wait()
+            for i in range(rounds):
+                params = {"k": i % keyspace}
+                got = store.memoize(
+                    triangle, "s", params, lambda p=params: {"v": p["k"]}
+                )
+                assert got == {"v": params["k"]}
+
+        threads = [threading.Thread(target=worker) for _ in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = store.stats
+        assert stats.hits + stats.misses == num_threads * rounds
+        assert stats.writes == stats.misses
+        assert stats.misses >= keyspace  # each key missed at least once
+        assert stats.corrupt == 0
+
+    def test_increment_is_thread_safe(self, store):
+        stats = store.stats
+
+        def bump():
+            for _ in range(1000):
+                stats.increment("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.hits == 8000
+
     def test_atomic_writes_leave_no_temp_files(self, store, triangle):
         for i in range(10):
             store.put(triangle, "s", {"k": i}, i)
