@@ -185,6 +185,8 @@ def table2_gatekeeper(
                     num_controllers=num_controllers,
                     seed=seed,
                 ),
+                # v2: distributor walks moved onto the vectorized engine
+                version=2,
             )
         )
     return outcomes

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import walk_endpoints
 
 __all__ = ["WhanauConfig", "WhanauTables", "Whanau", "LookupResult"]
 
@@ -145,6 +145,11 @@ class Whanau:
         self._num_successors = cfg.num_successors or scale
         self._walk_length = cfg.walk_length or max(2, int(np.ceil(2 * np.log2(n))))
         self._rng = np.random.default_rng(cfg.seed)
+        # every walk-sampling stage draws its engine seed from this
+        # root (spawn counter advances deterministically), keeping
+        # table construction reproducible while each stage's walks run
+        # as one vectorized block
+        self._walk_seed_root = np.random.SeedSequence(cfg.seed)
         self._tables: list[WhanauTables] = [WhanauTables() for _ in range(n)]
         self._setup()
 
@@ -164,14 +169,19 @@ class Whanau:
         return self._tables[node]
 
     # ------------------------------------------------------------------
-    def _sample_node(self, source: int) -> int:
-        """Return the endpoint of a w-step walk from ``source``."""
-        return int(
-            random_walk(self._graph, source, self._walk_length, rng=self._rng)[-1]
+    def _sample_block(self, sources: np.ndarray) -> np.ndarray:
+        """Endpoints of one w-step walk per source, as one engine block."""
+        return walk_endpoints(
+            self._graph,
+            sources,
+            self._walk_length,
+            seed=self._walk_seed_root.spawn(1)[0],
         )
 
-    def _sample_node_uniform(self, source: int, attempts: int = 16) -> int:
-        """Walk-sample a peer, rejection-corrected toward uniform.
+    def _sample_uniform_block(
+        self, sources: np.ndarray, attempts: int = 16
+    ) -> np.ndarray:
+        """Walk-sample one peer per source, rejection-corrected toward uniform.
 
         Raw walk endpoints are degree biased (stationary ~ deg/2m), so
         keys owned by peripheral nodes would be under-represented in
@@ -179,16 +189,24 @@ class Whanau:
         endpoint v with probability min-degree/deg(v) (the standard
         Metropolis correction used in social-graph sampling) restores a
         near-uniform key sample while still only using random walks.
+        Each rejection round resamples every still-unaccepted source in
+        one block; a source never accepted keeps its last attempt.
         """
+        sources = np.asarray(sources, dtype=np.int64)
         degrees = self._graph.degrees
         floor = max(int(degrees[degrees > 0].min()), 1)
-        last = source
+        result = sources.copy()
+        active = np.arange(result.size)
         for _ in range(attempts):
-            peer = self._sample_node(source)
-            last = peer
-            if self._rng.random() < floor / max(int(degrees[peer]), 1):
-                return peer
-        return last
+            if active.size == 0:
+                break
+            peers = self._sample_block(sources[active])
+            result[active] = peers
+            accepted = self._rng.random(active.size) < floor / np.maximum(
+                degrees[peers], 1
+            )
+            active = active[~accepted]
+        return result
 
     def _closest_following(
         self, records: list[tuple[int, int]], anchor: int, count: int
@@ -205,12 +223,16 @@ class Whanau:
             [(k, v) for k in self._keys.get(v, ())] for v in range(n)
         ]
         # layer-0 ids: a random key from a first batch of sampled peers
+        # (one engine block covers every node's batch)
         all_keys = sorted(self._owner)
+        nodes = np.arange(n, dtype=np.int64)
+        id_peers = self._sample_block(
+            np.repeat(nodes, self._num_successors)
+        ).reshape(n, self._num_successors)
         for v in range(n):
             pool: list[int] = []
-            for _ in range(self._num_successors):
-                peer = self._sample_node(v)
-                pool.extend(self._keys.get(peer, ()))
+            for peer in id_peers[v]:
+                pool.extend(self._keys.get(int(peer), ()))
             if not pool:
                 pool = all_keys
             self._tables[v].ids = [int(pool[self._rng.integers(len(pool))])]
@@ -218,11 +240,14 @@ class Whanau:
         # 2 * num_successors walk-sampled peers.  db(v) is a UNIFORM
         # random sample of the key space (this uniformity is load-
         # bearing: concentrated databases would starve distant queriers).
+        db_peers = self._sample_uniform_block(
+            np.repeat(nodes, 2 * self._num_successors)
+        ).reshape(n, 2 * self._num_successors)
         databases: list[list[tuple[int, int]]] = []
         for v in range(n):
             records: list[tuple[int, int]] = []
-            for _ in range(2 * self._num_successors):
-                peer = self._sample_node_uniform(v)
+            for peer in db_peers[v]:
+                peer = int(peer)
                 if self._honest[peer]:
                     records.extend(stage[peer])
             databases.append(sorted(set(records)))
@@ -233,11 +258,14 @@ class Whanau:
         # the closest-preceding-finger routing step relies on.
         per_peer = 4
         table_cap = 6 * self._num_successors
+        succ_peers = self._sample_block(
+            np.repeat(nodes, 2 * self._num_successors)
+        ).reshape(n, 2 * self._num_successors)
         for v in range(n):
             anchor = self._tables[v].ids[0]
             records = list(databases[v])
-            for _ in range(2 * self._num_successors):
-                peer = self._sample_node(v)
+            for peer in succ_peers[v]:
+                peer = int(peer)
                 if not self._honest[peer]:
                     continue
                 nearest = sorted(
@@ -251,10 +279,13 @@ class Whanau:
         # 3. fingers, layer by layer; layer-i ids copy a random
         #    layer-(i-1) finger's id
         for layer in range(self._config.num_layers):
+            finger_peers = self._sample_block(
+                np.repeat(nodes, self._num_fingers)
+            ).reshape(n, self._num_fingers)
             for v in range(n):
                 fingers: list[tuple[int, int]] = []
-                for _ in range(self._num_fingers):
-                    peer = self._sample_node(v)
+                for peer in finger_peers[v]:
+                    peer = int(peer)
                     peer_ids = self._tables[peer].ids
                     if layer < len(peer_ids):
                         fingers.append((int(peer_ids[layer]), peer))

@@ -5,8 +5,17 @@ from repro.markov.hitting import (
     commute_time,
     effective_resistance,
     estimate_cover_time,
+    estimate_hitting_time,
     hitting_time,
     hitting_times_to,
+)
+from repro.markov.walk_batch import (
+    NO_HIT,
+    walk_block,
+    walk_cover_steps,
+    walk_endpoints,
+    walk_first_hits,
+    walk_visit_counts,
 )
 from repro.markov.distance import kl_divergence, l2_distance, total_variation_distance
 from repro.markov.transition import (
@@ -39,9 +48,16 @@ __all__ = [
     "random_walks",
     "empirical_distribution",
     "RouteTable",
+    "NO_HIT",
+    "walk_block",
+    "walk_endpoints",
+    "walk_first_hits",
+    "walk_visit_counts",
+    "walk_cover_steps",
     "hitting_time",
     "hitting_times_to",
     "commute_time",
     "effective_resistance",
+    "estimate_hitting_time",
     "estimate_cover_time",
 ]

@@ -22,23 +22,30 @@ import numpy as np
 from repro.errors import DisconnectedGraphError, GraphError
 from repro.graph.core import Graph
 from repro.graph.traversal import is_connected
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import NO_HIT, walk_cover_steps, walk_first_hits
 
 __all__ = [
     "hitting_time",
     "hitting_times_to",
     "commute_time",
     "effective_resistance",
+    "estimate_hitting_time",
     "estimate_cover_time",
 ]
 
 
 def _laplacian(graph: Graph) -> np.ndarray:
+    """Dense combinatorial Laplacian, built straight from the CSR arrays.
+
+    One fancy-indexed assignment marks every directed half-edge
+    (``L[u, v] = -1``; the graph is simple, so assignment and the old
+    per-edge subtraction agree), then the diagonal gets the degrees.
+    """
     n = graph.num_nodes
     lap = np.zeros((n, n))
-    for u, v in graph.edges():
-        lap[u, v] -= 1.0
-        lap[v, u] -= 1.0
+    if graph.num_edges:
+        src = np.repeat(graph.nodes(), graph.degrees)
+        lap[src, graph.indices] = -1.0
     np.fill_diagonal(lap, graph.degrees.astype(float))
     return lap
 
@@ -101,11 +108,64 @@ def commute_time(graph: Graph, u: int, v: int) -> float:
     return 2.0 * graph.num_edges * effective_resistance(graph, u, v)
 
 
+def estimate_hitting_time(
+    graph: Graph,
+    source: int,
+    target: int,
+    num_walks: int = 200,
+    max_steps: int | None = None,
+    seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> float:
+    """Monte-Carlo estimate of H(source, target) by sampled first hits.
+
+    Runs ``num_walks`` walks from ``source`` through the vectorized
+    engine's first-hit mode (``max_steps`` budget, default
+    ``50 n log n``) and averages the first-hit steps over the walks
+    that reached the target; raises when none did.  Converges to
+    :func:`hitting_time` — the linear solve stays the exact reference,
+    this estimator covers graphs too large to solve densely.
+    """
+    graph._check_node(source)
+    graph._check_node(target)
+    if not is_connected(graph):
+        raise DisconnectedGraphError("hitting times need a connected graph")
+    if num_walks < 1:
+        raise GraphError("num_walks must be positive")
+    if source == target:
+        return 0.0
+    n = graph.num_nodes
+    budget = max_steps or int(50 * n * np.log(max(n, 2)))
+    mask = np.zeros(n, dtype=bool)
+    mask[target] = True
+    hits = walk_first_hits(
+        graph,
+        np.full(num_walks, source, dtype=np.int64),
+        budget,
+        mask,
+        seed=np.random.SeedSequence(seed),
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
+    )
+    reached = hits[hits != NO_HIT]
+    if reached.size == 0:
+        raise GraphError(
+            f"no walk hit the target within {budget} steps; increase max_steps"
+        )
+    return float(reached.mean())
+
+
 def estimate_cover_time(
     graph: Graph,
     num_walks: int = 20,
     max_steps: int | None = None,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> float:
     """Monte-Carlo estimate of the cover time from random starts.
 
@@ -113,6 +173,9 @@ def estimate_cover_time(
     ``50 n log n`` — well past the O(n log n) cover time of expanders);
     returns the mean steps-to-cover over completed walks.  Raises when
     no walk covers within the budget (slow mixer or budget too small).
+    Start nodes come from one child stream of ``seed`` and every walk
+    advances on its own stream through the vectorized engine, so the
+    estimate is independent of ``chunk_size``/``workers``.
     """
     if graph.num_nodes < 2:
         raise GraphError("cover time needs at least 2 nodes")
@@ -122,26 +185,23 @@ def estimate_cover_time(
         raise GraphError("num_walks must be positive")
     n = graph.num_nodes
     budget = max_steps or int(50 * n * np.log(n))
-    rng = np.random.default_rng(seed)
-    cover_steps: list[int] = []
-    indptr, indices = graph.indptr, graph.indices
-    for _ in range(num_walks):
-        current = int(rng.integers(n))
-        visited = np.zeros(n, dtype=bool)
-        visited[current] = True
-        remaining = n - 1
-        for step in range(1, budget + 1):
-            lo, hi = indptr[current], indptr[current + 1]
-            current = int(indices[lo + rng.integers(hi - lo)])
-            if not visited[current]:
-                visited[current] = True
-                remaining -= 1
-                if remaining == 0:
-                    cover_steps.append(step)
-                    break
-    if not cover_steps:
+    start_seed, walk_seed = np.random.SeedSequence(seed).spawn(2)
+    starts = np.random.default_rng(start_seed).integers(
+        n, size=num_walks, dtype=np.int64
+    )
+    covered = walk_cover_steps(
+        graph,
+        starts,
+        budget,
+        seed=walk_seed,
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
+    )
+    completed = covered[covered != NO_HIT]
+    if completed.size == 0:
         raise GraphError(
             f"no walk covered the graph within {budget} steps; "
             "increase max_steps"
         )
-    return float(np.mean(cover_steps))
+    return float(completed.mean())

@@ -1,0 +1,596 @@
+"""Vectorized Monte-Carlo walk engine (the third block engine).
+
+The dense-distribution engine (:mod:`repro.markov.batch`) and the BFS
+engine (:mod:`repro.graph.bfs_batch`) cover algebraic evolution and
+shortest-path levels; every *sampled* walk in the repo — escape
+probability, SybilDefender/SybilInfer statistics, GateKeeper
+distributor selection, Whānau table sampling, Monte-Carlo
+hitting/cover estimators, empirical distributions — still needs actual
+random trajectories.  This module advances a ``(num_walks,)`` state
+vector one step per iteration with a single CSR gather::
+
+    next = indices[indptr[state] + floor(u * degree[state])]
+
+instead of ``num_walks x length`` Python iterations, in four modes:
+
+* :func:`walk_block` — full trajectories, ``(num_walks, length + 1)``;
+* :func:`walk_endpoints` — endpoints only, O(num_walks) memory;
+* :func:`walk_first_hits` — first step touching a node mask
+  (:data:`NO_HIT` when a walk never does), the escape-probability and
+  Monte-Carlo hitting-time primitive;
+* :func:`walk_visit_counts` — per-node visit accumulation
+  (``record="last"`` is the empirical-distribution estimator);
+
+plus :func:`walk_cover_steps`, the cover-time tracker built on the
+same stepping kernel.
+
+**Seed discipline.**  Every walk owns an independent child stream of
+one root :class:`numpy.random.SeedSequence` (``spawn`` per walk), and
+each walk's step ``t`` consumes exactly the ``t``-th uniform double of
+its own stream.  Results are therefore **bit-identical** for every
+``chunk_size``/``workers`` combination and identical to the per-walk
+``strategy="sequential"`` oracle — the property the equivalence suite
+pins.  Chunking goes through the shared planner
+(:mod:`repro.chunking`); every chunk reports per-block spans and the
+``markov.walk.walks`` / ``markov.walk.steps`` /
+``markov.walk.absorbed`` counters into :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+__all__ = [
+    "NO_HIT",
+    "walk_block",
+    "walk_endpoints",
+    "walk_first_hits",
+    "walk_visit_counts",
+    "walk_cover_steps",
+    "DEFAULT_CHUNK_SIZE",
+]
+
+#: Sentinel returned by :func:`walk_first_hits` / :func:`walk_cover_steps`
+#: for walks that never reach the mask / never cover within the budget.
+NO_HIT = -1
+
+#: Uniform draws are generated in step-blocks of this many doubles per
+#: walk, bounding the random-number working set at
+#: ``O(chunk_size * _STEP_BLOCK)`` for open-ended budgets.  Block size
+#: cannot affect results: doubles come off each walk's own stream in
+#: step order regardless of how they are grouped into draws.
+_STEP_BLOCK = 1024
+
+_SeedLike = "int | np.random.SeedSequence | np.random.Generator"
+
+
+def _validate_sources(graph: Graph, sources: np.ndarray | Sequence[int]) -> np.ndarray:
+    chosen = np.asarray(list(sources), dtype=np.int64)
+    if chosen.size and (chosen.min() < 0 or chosen.max() >= graph.num_nodes):
+        raise GraphError(
+            f"sources must be node ids in [0, {graph.num_nodes})"
+        )
+    return chosen
+
+
+def _validate_strategy(strategy: str) -> None:
+    if strategy not in ("batched", "sequential"):
+        raise GraphError(
+            f"unknown strategy {strategy!r}; use 'batched' or 'sequential'"
+        )
+
+
+def _streams(seed, num_walks: int) -> list[np.random.Generator]:
+    """Spawn one independent child generator per walk.
+
+    ``seed`` may be an int (reproducible root), a
+    :class:`~numpy.random.SeedSequence` or a
+    :class:`~numpy.random.Generator`; the latter two are *advanced* by
+    the spawn, so successive calls draw fresh independent streams.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.spawn(num_walks)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(int(seed))
+    )
+    return [np.random.default_rng(child) for child in root.spawn(num_walks)]
+
+
+def _uniform_block(
+    streams: Sequence[np.random.Generator], count: int
+) -> np.ndarray:
+    """Return the next ``count`` uniforms of every stream as ``(k, count)``."""
+    return np.stack([g.random(count) for g in streams], axis=0)
+
+
+def _advance(
+    states: np.ndarray,
+    u: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> np.ndarray:
+    """One vectorized walk step; isolated nodes stay put.
+
+    ``floor(u * deg)`` is clipped to ``deg - 1`` so a uniform rounding
+    up against 1.0 on a high-degree node cannot index past the row.
+    """
+    deg = degrees[states]
+    if deg.all():
+        # fast path: every walk sits on a positive-degree node (the
+        # common case on connected graphs) — skip the mask round-trip
+        offsets = (u * deg).astype(np.int64)
+        np.minimum(offsets, deg - 1, out=offsets)
+        return indices[indptr[states] + offsets]
+    moving = deg > 0
+    out = states.copy()
+    if not moving.any():
+        return out
+    mstates = states[moving]
+    mdeg = deg[moving]
+    offsets = (u[moving] * mdeg).astype(np.int64)
+    np.minimum(offsets, mdeg - 1, out=offsets)
+    out[moving] = indices[indptr[mstates] + offsets]
+    return out
+
+
+def _step_sequential(
+    state: int,
+    u: float,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> int:
+    """Scalar twin of :func:`_advance` — same IEEE ops, same clip."""
+    deg = degrees[state]
+    if deg == 0:
+        return state
+    offset = int(u * deg)
+    if offset >= deg:
+        offset = int(deg - 1)
+    return int(indices[indptr[state] + offset])
+
+
+# ----------------------------------------------------------------------
+# mode (a): full trajectories
+# ----------------------------------------------------------------------
+def walk_block(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    length: int,
+    seed: _SeedLike = 0,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    strategy: str = "batched",
+) -> np.ndarray:
+    """Return one walk per source as a ``(len(sources), length + 1)`` block.
+
+    Row ``i`` is a ``length``-step uniform random walk from
+    ``sources[i]`` (column 0 is the source itself), driven by walk
+    ``i``'s own seed stream — so the block is bit-identical for every
+    ``chunk_size``/``workers`` setting and to the per-walk
+    ``strategy="sequential"`` oracle.
+    """
+    chosen = _validate_sources(graph, sources)
+    _validate_strategy(strategy)
+    if length < 0:
+        raise GraphError("length must be non-negative")
+    out = np.empty((chosen.size, length + 1), dtype=np.int64)
+    if chosen.size == 0:
+        return out
+    streams = _streams(seed, chosen.size)
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    tel = telemetry.current()
+    with tel.span("markov.walk.block"):
+        tel.count("markov.walk.walks", int(chosen.size))
+        if strategy == "sequential":
+            for i in range(chosen.size):
+                out[i] = _sequential_trajectory(
+                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                )
+            tel.count("markov.walk.steps", int(chosen.size) * length)
+            return out
+
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.walk.chunk"):
+                states = chosen[columns].copy()
+                out[columns, 0] = states
+                chunk_streams = streams[columns]
+                step = 0
+                while step < length:
+                    count = min(_STEP_BLOCK, length - step)
+                    u = _uniform_block(chunk_streams, count)
+                    for t in range(count):
+                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        out[columns, step + t + 1] = states
+                    step += count
+            tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
+
+        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+    return out
+
+
+def _sequential_trajectory(
+    source: int,
+    stream: np.random.Generator,
+    length: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> np.ndarray:
+    path = np.empty(length + 1, dtype=np.int64)
+    path[0] = source
+    state = source
+    u = stream.random(length)
+    for t in range(length):
+        state = _step_sequential(state, u[t], indptr, indices, degrees)
+        path[t + 1] = state
+    return path
+
+
+# ----------------------------------------------------------------------
+# mode (b): endpoints only
+# ----------------------------------------------------------------------
+def walk_endpoints(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    length: int,
+    seed: _SeedLike = 0,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    strategy: str = "batched",
+) -> np.ndarray:
+    """Return the ``length``-step endpoint of one walk per source.
+
+    O(num_walks) memory: only the state vector advances — the mode the
+    sampling defenses (SybilDefender calibration, SybilInfer traces,
+    GateKeeper distributors, Whānau tables) need.
+    """
+    chosen = _validate_sources(graph, sources)
+    _validate_strategy(strategy)
+    if length < 0:
+        raise GraphError("length must be non-negative")
+    out = np.empty(chosen.size, dtype=np.int64)
+    if chosen.size == 0:
+        return out
+    streams = _streams(seed, chosen.size)
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    tel = telemetry.current()
+    with tel.span("markov.walk.endpoints"):
+        tel.count("markov.walk.walks", int(chosen.size))
+        if strategy == "sequential":
+            for i in range(chosen.size):
+                out[i] = _sequential_trajectory(
+                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                )[-1]
+            tel.count("markov.walk.steps", int(chosen.size) * length)
+            return out
+
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.walk.chunk"):
+                states = chosen[columns].copy()
+                chunk_streams = streams[columns]
+                step = 0
+                while step < length:
+                    count = min(_STEP_BLOCK, length - step)
+                    u = _uniform_block(chunk_streams, count)
+                    for t in range(count):
+                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                    step += count
+                out[columns] = states
+            tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
+
+        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+    return out
+
+
+# ----------------------------------------------------------------------
+# mode (c): first hit against a node mask
+# ----------------------------------------------------------------------
+def walk_first_hits(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    length: int,
+    mask: np.ndarray,
+    seed: _SeedLike = 0,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    strategy: str = "batched",
+) -> np.ndarray:
+    """Return per walk the first step index at which it stands on ``mask``.
+
+    Step 0 is the source itself; walks that never touch the mask within
+    ``length`` steps report :data:`NO_HIT`.  This is the
+    escape-probability / Monte-Carlo hitting-time primitive: ``mask``
+    marks the absorbing region and ``first_hit <= w`` recovers the
+    absorbed-by-``w`` indicator for any sub-budget ``w``.  A chunk
+    whose walks have all been absorbed stops stepping early — absorbed
+    walks' hit steps are final, and each walk only ever consumes its
+    own stream.
+    """
+    chosen = _validate_sources(graph, sources)
+    _validate_strategy(strategy)
+    if length < 0:
+        raise GraphError("length must be non-negative")
+    hit_mask = np.asarray(mask, dtype=bool)
+    if hit_mask.shape != (graph.num_nodes,):
+        raise GraphError(
+            f"mask must have shape ({graph.num_nodes},), got {hit_mask.shape}"
+        )
+    out = np.empty(chosen.size, dtype=np.int64)
+    if chosen.size == 0:
+        return out
+    streams = _streams(seed, chosen.size)
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    tel = telemetry.current()
+    with tel.span("markov.walk.first_hits"):
+        tel.count("markov.walk.walks", int(chosen.size))
+        if strategy == "sequential":
+            steps_taken = 0
+            for i in range(chosen.size):
+                hit, consumed = _sequential_first_hit(
+                    int(chosen[i]), streams[i], length, hit_mask,
+                    indptr, indices, degrees,
+                )
+                out[i] = hit
+                steps_taken += consumed
+            tel.count("markov.walk.steps", steps_taken)
+            tel.count("markov.walk.absorbed", int(np.count_nonzero(out != NO_HIT)))
+            return out
+
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.walk.chunk"):
+                states = chosen[columns].copy()
+                chunk_streams = streams[columns]
+                hits = np.full(states.size, NO_HIT, dtype=np.int64)
+                hits[hit_mask[states]] = 0
+                alive = hits == NO_HIT
+                step = 0
+                steps_taken = 0
+                while step < length and alive.any():
+                    count = min(_STEP_BLOCK, length - step)
+                    u = _uniform_block(chunk_streams, count)
+                    for t in range(count):
+                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        steps_taken += states.size
+                        newly = alive & hit_mask[states]
+                        if newly.any():
+                            hits[newly] = step + t + 1
+                            alive &= ~newly
+                            if not alive.any():
+                                break
+                    step += count
+                out[columns] = hits
+            tel.count("markov.walk.steps", steps_taken)
+            tel.count(
+                "markov.walk.absorbed", int(np.count_nonzero(hits != NO_HIT))
+            )
+
+        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+    return out
+
+
+def _sequential_first_hit(
+    source: int,
+    stream: np.random.Generator,
+    length: int,
+    mask: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> tuple[int, int]:
+    """Per-walk oracle; returns ``(first_hit, steps consumed)``."""
+    if mask[source]:
+        return 0, 0
+    state = source
+    consumed = 0
+    step = 0
+    while step < length:
+        count = min(_STEP_BLOCK, length - step)
+        u = stream.random(count)
+        for t in range(count):
+            state = _step_sequential(state, u[t], indptr, indices, degrees)
+            consumed += 1
+            if mask[state]:
+                return step + t + 1, consumed
+        step += count
+    return NO_HIT, consumed
+
+
+# ----------------------------------------------------------------------
+# mode (d): visit-count accumulation
+# ----------------------------------------------------------------------
+def walk_visit_counts(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    length: int,
+    seed: _SeedLike = 0,
+    record: str = "all",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    strategy: str = "batched",
+) -> np.ndarray:
+    """Accumulate per-node visit counts over one walk per source.
+
+    ``record="all"`` counts every position (source included) of every
+    walk — ``counts.sum() == len(sources) * (length + 1)``;
+    ``record="last"`` counts endpoints only, which divided by the walk
+    count is exactly the empirical ``length``-step distribution.
+    Memory stays O(num_nodes) per chunk regardless of the sample count;
+    chunk partial counts merge under a lock (integer addition commutes,
+    so scheduling cannot change the totals).
+    """
+    chosen = _validate_sources(graph, sources)
+    _validate_strategy(strategy)
+    if length < 0:
+        raise GraphError("length must be non-negative")
+    if record not in ("all", "last"):
+        raise GraphError(f"unknown record mode {record!r}; use 'all' or 'last'")
+    counts = np.zeros(graph.num_nodes, dtype=np.int64)
+    if chosen.size == 0:
+        return counts
+    streams = _streams(seed, chosen.size)
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    n = graph.num_nodes
+    tel = telemetry.current()
+    with tel.span("markov.walk.visit_counts"):
+        tel.count("markov.walk.walks", int(chosen.size))
+        if strategy == "sequential":
+            for i in range(chosen.size):
+                path = _sequential_trajectory(
+                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                )
+                if record == "last":
+                    counts[path[-1]] += 1
+                else:
+                    counts += np.bincount(path, minlength=n)
+            tel.count("markov.walk.steps", int(chosen.size) * length)
+            return counts
+
+        merge_lock = threading.Lock()
+
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.walk.chunk"):
+                states = chosen[columns].copy()
+                chunk_streams = streams[columns]
+                local = np.zeros(n, dtype=np.int64)
+                if record == "all":
+                    local += np.bincount(states, minlength=n)
+                step = 0
+                while step < length:
+                    count = min(_STEP_BLOCK, length - step)
+                    u = _uniform_block(chunk_streams, count)
+                    for t in range(count):
+                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        if record == "all":
+                            local += np.bincount(states, minlength=n)
+                    step += count
+                if record == "last":
+                    local += np.bincount(states, minlength=n)
+                with merge_lock:
+                    np.add(counts, local, out=counts)
+            tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
+
+        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+    return counts
+
+
+# ----------------------------------------------------------------------
+# cover tracking (the Monte-Carlo cover-time estimator's kernel)
+# ----------------------------------------------------------------------
+def walk_cover_steps(
+    graph: Graph,
+    sources: np.ndarray | Sequence[int],
+    max_steps: int,
+    seed: _SeedLike = 0,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+    strategy: str = "batched",
+) -> np.ndarray:
+    """Return per walk the step at which it has visited every node.
+
+    Walks that do not cover the graph within ``max_steps`` report
+    :data:`NO_HIT`.  Visited state is a ``(chunk, n)`` boolean block;
+    a chunk stops stepping once all of its walks have covered.
+    """
+    chosen = _validate_sources(graph, sources)
+    _validate_strategy(strategy)
+    if max_steps < 1:
+        raise GraphError("max_steps must be positive")
+    out = np.empty(chosen.size, dtype=np.int64)
+    if chosen.size == 0:
+        return out
+    streams = _streams(seed, chosen.size)
+    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    n = graph.num_nodes
+    tel = telemetry.current()
+    with tel.span("markov.walk.cover_steps"):
+        tel.count("markov.walk.walks", int(chosen.size))
+        if strategy == "sequential":
+            for i in range(chosen.size):
+                out[i] = _sequential_cover(
+                    int(chosen[i]), streams[i], max_steps, n,
+                    indptr, indices, degrees,
+                )
+            tel.count("markov.walk.absorbed", int(np.count_nonzero(out != NO_HIT)))
+            return out
+
+        def run_chunk(columns: slice) -> None:
+            with tel.span("markov.walk.chunk"):
+                states = chosen[columns].copy()
+                chunk_streams = streams[columns]
+                k = states.size
+                rows = np.arange(k)
+                visited = np.zeros((k, n), dtype=bool)
+                visited[rows, states] = True
+                remaining = np.full(k, n - 1, dtype=np.int64)
+                covered = np.full(k, NO_HIT, dtype=np.int64)
+                if n == 1:
+                    covered[:] = 0
+                alive = covered == NO_HIT
+                step = 0
+                steps_taken = 0
+                while step < max_steps and alive.any():
+                    count = min(_STEP_BLOCK, max_steps - step)
+                    u = _uniform_block(chunk_streams, count)
+                    for t in range(count):
+                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        steps_taken += k
+                        newly = alive & ~visited[rows, states]
+                        visited[rows[newly], states[newly]] = True
+                        remaining[newly] -= 1
+                        done = newly & (remaining == 0)
+                        if done.any():
+                            covered[done] = step + t + 1
+                            alive &= ~done
+                            if not alive.any():
+                                break
+                    step += count
+                out[columns] = covered
+            tel.count("markov.walk.steps", steps_taken)
+            tel.count(
+                "markov.walk.absorbed", int(np.count_nonzero(covered != NO_HIT))
+            )
+
+        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+    return out
+
+
+def _sequential_cover(
+    source: int,
+    stream: np.random.Generator,
+    max_steps: int,
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees: np.ndarray,
+) -> int:
+    if n == 1:
+        return 0
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    remaining = n - 1
+    state = source
+    step = 0
+    while step < max_steps:
+        count = min(_STEP_BLOCK, max_steps - step)
+        u = stream.random(count)
+        for t in range(count):
+            state = _step_sequential(state, u[t], indptr, indices, degrees)
+            if not visited[state]:
+                visited[state] = True
+                remaining -= 1
+                if remaining == 0:
+                    return step + t + 1
+        step += count
+    return NO_HIT

@@ -55,11 +55,32 @@ def random_walks(
     length: int,
     count: int,
     rng: np.random.Generator | None = None,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
-    """Return ``count`` independent walks as a ``(count, length + 1)`` array."""
-    rng = rng or np.random.default_rng()
-    return np.stack(
-        [random_walk(graph, source, length, rng=rng) for _ in range(count)]
+    """Return ``count`` independent walks as a ``(count, length + 1)`` array.
+
+    Rides the vectorized engine (:func:`repro.markov.walk_batch.walk_block`)
+    by default; ``strategy="sequential"`` keeps the per-walk oracle.
+    Each walk draws from its own child stream of ``rng`` (fresh entropy
+    when ``rng`` is None), so results do not depend on
+    ``chunk_size``/``workers``.
+    """
+    from repro.markov.walk_batch import walk_block
+
+    graph._check_node(source)
+    if count < 1:
+        raise GraphError("count must be positive")
+    seed = rng if rng is not None else np.random.SeedSequence()
+    return walk_block(
+        graph,
+        np.full(count, source, dtype=np.int64),
+        length,
+        seed=seed,
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
     )
 
 
@@ -69,19 +90,34 @@ def empirical_distribution(
     length: int,
     num_samples: int,
     rng: np.random.Generator | None = None,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> np.ndarray:
     """Estimate the ``length``-step distribution from ``num_samples`` walks.
 
     Converges to ``TransitionOperator.distribution_after(source, length)``
     as the sample count grows; tests use this agreement as an invariant.
+    Endpoint counting runs through the engine's visit-count mode
+    (``record="last"``), so memory stays O(num_nodes) however many
+    samples are drawn.
     """
+    from repro.markov.walk_batch import walk_visit_counts
+
+    graph._check_node(source)
     if num_samples < 1:
         raise GraphError("num_samples must be positive")
-    rng = rng or np.random.default_rng()
-    counts = np.zeros(graph.num_nodes, dtype=np.int64)
-    for _ in range(num_samples):
-        walk = random_walk(graph, source, length, rng=rng)
-        counts[walk[-1]] += 1
+    seed = rng if rng is not None else np.random.SeedSequence()
+    counts = walk_visit_counts(
+        graph,
+        np.full(num_samples, source, dtype=np.int64),
+        length,
+        seed=seed,
+        record="last",
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
+    )
     return counts / num_samples
 
 
@@ -102,6 +138,25 @@ class RouteTable:
         self._perms: list[np.ndarray] = [
             rng.permutation(graph.degree(v)) for v in range(graph.num_nodes)
         ]
+        # Precomputed route-stepping arrays.  Directed half-edge i is
+        # (src[i] -> indices[i]) in CSR order; because CSR order sorts
+        # by (src, dst) and the half-edge multiset is symmetric,
+        # lexsorting by (dst, src) maps each half-edge to its reverse,
+        # giving the entry *position* of every hop without a per-hop
+        # neighbor scan.  Applying each node's exit permutation to the
+        # entry positions yields the half-edge successor map: one O(1)
+        # lookup per route step (the per-hop searchsorted survives only
+        # in the public ``next_hop``, which starts from node ids).
+        indptr, indices = graph.indptr, graph.indices
+        if indices.size:
+            src = np.repeat(graph.nodes(), graph.degrees)
+            reverse = np.lexsort((src, indices))
+            perm_flat = np.concatenate(self._perms)
+            self._edge_successor = (
+                indptr[indices] + perm_flat[reverse]
+            ).astype(np.int64)
+        else:
+            self._edge_successor = np.empty(0, dtype=np.int64)
 
     @property
     def graph(self) -> Graph:
@@ -109,18 +164,18 @@ class RouteTable:
         return self._graph
 
     def _edge_position(self, node: int, neighbor: int) -> int:
-        nbrs = self._graph.neighbors(node)
-        pos = int(np.searchsorted(nbrs, neighbor))
-        if pos >= nbrs.size or nbrs[pos] != neighbor:
+        indptr, indices = self._graph.indptr, self._graph.indices
+        lo, hi = int(indptr[node]), int(indptr[node + 1])
+        pos = int(np.searchsorted(indices[lo:hi], neighbor))
+        if lo + pos >= hi or indices[lo + pos] != neighbor:
             raise GraphError(f"{neighbor} is not adjacent to {node}")
         return pos
 
     def next_hop(self, previous: int, current: int) -> int:
         """Return the node a route at ``current`` (arrived from
         ``previous``) exits to."""
-        enter = self._edge_position(current, previous)
-        leave = int(self._perms[current][enter])
-        return int(self._graph.neighbors(current)[leave])
+        edge = self._graph.indptr[previous] + self._edge_position(previous, current)
+        return int(self._graph.indices[self._edge_successor[edge]])
 
     def route(self, source: int, first_hop: int, length: int) -> np.ndarray:
         """Return the deterministic route of ``length`` edges starting
@@ -130,11 +185,14 @@ class RouteTable:
         path = np.empty(length + 1, dtype=np.int64)
         path[0] = source
         path[1] = first_hop
-        prev, cur = source, first_hop
+        indices = self._graph.indices
+        successor = self._edge_successor
+        edge = int(self._graph.indptr[source]) + self._edge_position(
+            source, first_hop
+        )
         for i in range(2, length + 1):
-            nxt = self.next_hop(prev, cur)
-            path[i] = nxt
-            prev, cur = cur, nxt
+            edge = int(successor[edge])
+            path[i] = indices[edge]
         return path
 
     def routes_from(self, source: int, length: int) -> list[np.ndarray]:

@@ -487,11 +487,15 @@ def paper_measurement_pipeline(
             gatekeeper,
             deps=("load",),
             params={"num_controllers": num_controllers, "seed": seed},
+            # v2: distributor selection runs on the vectorized walk
+            # engine (per-walk seed streams), changing sampled walks
+            version=2,
         ),
         Stage(
             "tables",
             tables,
             deps=("load", "mixing", "spectral", "cores", "expansion", "gatekeeper"),
+            version=2,
             params={
                 **measure_params,
                 "walk_lengths": lengths,

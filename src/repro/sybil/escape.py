@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SybilDefenseError
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import NO_HIT, walk_first_hits
 from repro.sybil.attack import SybilAttack
 
 __all__ = ["EscapeMeasurement", "measure_escape", "exact_escape_probability"]
@@ -49,27 +49,42 @@ def measure_escape(
     walk_lengths: list[int],
     num_walks: int = 2000,
     seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
 ) -> EscapeMeasurement:
     """Monte-Carlo estimate of the escape probability.
 
-    Samples ``num_walks`` honest starting nodes uniformly, walks the
-    maximum length once per sample, and records the first time (if any)
-    the walk touches a Sybil node.
+    Samples ``num_walks`` honest starting nodes uniformly and records,
+    through the vectorized engine's first-hit mode, the first step (if
+    any) at which each walk touches a Sybil node.  Start sampling and
+    the per-walk streams derive from one seed tree, so the measurement
+    is bit-identical across ``chunk_size``/``workers`` and between the
+    ``"batched"`` and ``"sequential"`` strategies.
     """
     lengths = np.asarray(walk_lengths, dtype=np.int64)
     if lengths.size == 0 or np.any(np.diff(lengths) <= 0) or lengths[0] < 1:
         raise SybilDefenseError("walk_lengths must be strictly increasing, >= 1")
     if num_walks < 1:
         raise SybilDefenseError("num_walks must be positive")
-    rng = np.random.default_rng(seed)
     max_length = int(lengths[-1])
-    first_escape = np.full(num_walks, np.iinfo(np.int64).max, dtype=np.int64)
-    for i in range(num_walks):
-        source = int(rng.integers(attack.num_honest))
-        walk = random_walk(attack.graph, source, max_length, rng=rng)
-        sybil_steps = np.flatnonzero(walk >= attack.num_honest)
-        if sybil_steps.size:
-            first_escape[i] = int(sybil_steps[0])
+    source_seed, walk_seed = np.random.SeedSequence(seed).spawn(2)
+    sources = np.random.default_rng(source_seed).integers(
+        attack.num_honest, size=num_walks, dtype=np.int64
+    )
+    sybil_mask = np.zeros(attack.graph.num_nodes, dtype=bool)
+    sybil_mask[attack.num_honest :] = True
+    first_escape = walk_first_hits(
+        attack.graph,
+        sources,
+        max_length,
+        sybil_mask,
+        seed=walk_seed,
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
+    )
+    first_escape[first_escape == NO_HIT] = np.iinfo(np.int64).max
     escape = np.array(
         [(first_escape <= w).mean() for w in lengths], dtype=float
     )

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import walk_endpoints
 from repro.sybil.tickets import (
     TicketDistribution,
     adaptive_ticket_count,
@@ -134,15 +134,15 @@ class GateKeeper:
         region beyond its (small) stationary mass.
         """
         self._graph._check_node(controller)
-        rng = np.random.default_rng(self._config.seed + controller)
         length = max(
             2, int(self._config.walk_length_factor * np.log2(self._graph.num_nodes))
         )
-        endpoints = [
-            int(random_walk(self._graph, controller, length, rng=rng)[-1])
-            for _ in range(self._config.num_distributors)
-        ]
-        return np.asarray(endpoints, dtype=np.int64)
+        return walk_endpoints(
+            self._graph,
+            np.full(self._config.num_distributors, controller, dtype=np.int64),
+            length,
+            seed=self._config.seed + controller,
+        )
 
     def _distribution(self, distributor: int) -> TicketDistribution:
         cached = self._distribution_cache.get(distributor)

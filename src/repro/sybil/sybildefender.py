@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import walk_block, walk_endpoints
 
 __all__ = ["SybilDefenderConfig", "SybilDefender"]
 
@@ -89,13 +89,24 @@ class SybilDefender:
         return self._length
 
     def frequent_hit_count(self, node: int, seed_offset: int = 0) -> int:
-        """Return the suspect statistic: nodes hit >= t times by R walks."""
+        """Return the suspect statistic: nodes hit >= t times by R walks.
+
+        All R walks advance as one block through the vectorized engine;
+        the per-walk distinct-visit sets fall out of one row-wise sort
+        (a node counts once per walk however often that walk revisits
+        it).
+        """
         self._graph._check_node(node)
-        rng = np.random.default_rng(self._config.seed + 7919 * seed_offset + node)
-        visits = np.zeros(self._graph.num_nodes, dtype=np.int64)
-        for _ in range(self._config.num_walks):
-            walk = random_walk(self._graph, node, self._length, rng=rng)
-            visits[np.unique(walk)] += 1
+        block = walk_block(
+            self._graph,
+            np.full(self._config.num_walks, node, dtype=np.int64),
+            self._length,
+            seed=self._config.seed + 7919 * seed_offset + node,
+        )
+        ordered = np.sort(block, axis=1)
+        first = np.ones_like(ordered, dtype=bool)
+        first[:, 1:] = ordered[:, 1:] != ordered[:, :-1]
+        visits = np.bincount(ordered[first], minlength=self._graph.num_nodes)
         return int(np.count_nonzero(visits >= self._config.hit_threshold))
 
     def calibrate(self, judge: int) -> tuple[float, float]:
@@ -109,13 +120,17 @@ class SybilDefender:
         Returns ``(center, scale)``.
         """
         self._graph._check_node(judge)
-        rng = np.random.default_rng(self._config.seed + 13)
+        peers = walk_endpoints(
+            self._graph,
+            np.full(
+                self._config.calibration_samples - 1, judge, dtype=np.int64
+            ),
+            self._length,
+            seed=self._config.seed + 13,
+        )
         samples = [self.frequent_hit_count(judge, seed_offset=1)]
-        for i in range(self._config.calibration_samples - 1):
-            peer = int(
-                random_walk(self._graph, judge, self._length, rng=rng)[-1]
-            )
-            samples.append(self.frequent_hit_count(peer, seed_offset=2 + i))
+        for i, peer in enumerate(peers):
+            samples.append(self.frequent_hit_count(int(peer), seed_offset=2 + i))
         center = float(np.median(samples))
         mad = float(np.median(np.abs(np.asarray(samples) - center)))
         scale = 1.4826 * mad  # consistent with std under normality

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.walks import random_walk
+from repro.markov.walk_batch import walk_endpoints
 
 __all__ = ["SybilInferConfig", "SybilInferResult", "SybilInfer"]
 
@@ -100,16 +100,14 @@ class SybilInfer:
             if cfg.walk_length is not None
             else max(2, int(2 * np.log2(graph.num_nodes)))
         )
-        rng = np.random.default_rng(cfg.seed)
-        starts: list[int] = []
-        ends: list[int] = []
-        for node in range(graph.num_nodes):
-            for _ in range(cfg.walks_per_node):
-                walk = random_walk(graph, node, self._length, rng=rng)
-                starts.append(node)
-                ends.append(int(walk[-1]))
-        self._walk_starts = np.asarray(starts, dtype=np.int64)
-        self._walk_ends = np.asarray(ends, dtype=np.int64)
+        # trace set: walks_per_node walks from every node, run as one
+        # block through the vectorized engine
+        self._walk_starts = np.repeat(
+            np.arange(graph.num_nodes, dtype=np.int64), cfg.walks_per_node
+        )
+        self._walk_ends = walk_endpoints(
+            graph, self._walk_starts, self._length, seed=cfg.seed
+        )
         self._degrees = graph.degrees.astype(float)
         self._total_volume = float(self._degrees.sum())
 

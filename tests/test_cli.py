@@ -165,6 +165,11 @@ class TestObservability:
             assert span["cpu_seconds"] >= 0.0
         assert doc["counters"]["pipeline.stage_computed"] == 7
         assert doc["counters"]["chunking.chunks"] >= 1
+        # the gatekeeper stage samples distributors through the
+        # vectorized walk engine, whose counters surface here
+        assert doc["counters"]["markov.walk.walks"] >= 1
+        assert doc["counters"]["markov.walk.steps"] >= 1
+        assert any("markov.walk.endpoints" in path for path in doc["spans"])
         assert doc["gauges"]["pipeline.max_wave_occupancy"] >= 1
         # canonical form: re-serialising the parse is byte-identical
         assert (

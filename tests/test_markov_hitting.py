@@ -22,6 +22,21 @@ from repro.markov import (
 )
 
 
+class TestLaplacian:
+    def test_matches_edge_loop_reference(self, ba_small, star10, triangle):
+        """The CSR-vectorized Laplacian equals the per-edge loop it
+        replaced, entry for entry."""
+        from repro.markov.hitting import _laplacian
+
+        for g in (ba_small, star10, triangle, path_graph(5), Graph.empty(4)):
+            reference = np.zeros((g.num_nodes, g.num_nodes))
+            for v in range(g.num_nodes):
+                reference[v, v] = g.degree(v)
+                for w in g.neighbors(v):
+                    reference[v, int(w)] -= 1.0
+            assert np.array_equal(_laplacian(g), reference)
+
+
 class TestHittingTime:
     def test_complete_graph_closed_form(self):
         # K_n: H(u, v) = n - 1 for u != v

@@ -1,0 +1,361 @@
+"""Equivalence suite for the vectorized Monte-Carlo walk engine.
+
+The engine's contract is *bit-identity*: for every mode, the result
+must not depend on ``chunk_size``, ``workers`` or ``strategy`` —
+walks draw from per-walk seed streams, so execution layout cannot
+matter.  This suite pins that grid, the per-walk sequential oracle,
+structural walk properties on adversarial graph shapes (isolated
+nodes, degree-1 chains, disconnected components), the statistical
+agreement of the Monte-Carlo escape measurement with the exact
+absorbing-chain solve, and the telemetry contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.errors import GraphError
+from repro.generators import barabasi_albert, complete_graph, cycle_graph
+from repro.graph import Graph
+from repro.markov import (
+    NO_HIT,
+    estimate_hitting_time,
+    hitting_time,
+    walk_block,
+    walk_cover_steps,
+    walk_endpoints,
+    walk_first_hits,
+    walk_visit_counts,
+)
+from repro.sybil.attack import inject_sybils
+from repro.sybil.escape import exact_escape_probability, measure_escape
+
+GRID = [
+    {"chunk_size": 1, "workers": 1},
+    {"chunk_size": 1, "workers": 4},
+    {"chunk_size": 7, "workers": 1},
+    {"chunk_size": 7, "workers": 4},
+    {"chunk_size": None, "workers": 1},
+    {"chunk_size": None, "workers": 4},
+]
+
+
+@pytest.fixture()
+def ragged() -> Graph:
+    """Two components, an isolated node and a degree-1 pendant."""
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (5, 6), (6, 7)], num_nodes=9
+    )
+
+
+def _modes(graph, sources, length):
+    """Every engine mode as (name, callable(**knobs))."""
+    mask = np.zeros(graph.num_nodes, dtype=bool)
+    mask[graph.num_nodes // 2 :] = True
+    return [
+        ("block", lambda **kw: walk_block(graph, sources, length, seed=3, **kw)),
+        (
+            "endpoints",
+            lambda **kw: walk_endpoints(graph, sources, length, seed=3, **kw),
+        ),
+        (
+            "first_hits",
+            lambda **kw: walk_first_hits(
+                graph, sources, length, mask, seed=3, **kw
+            ),
+        ),
+        (
+            "visits_all",
+            lambda **kw: walk_visit_counts(
+                graph, sources, length, seed=3, record="all", **kw
+            ),
+        ),
+        (
+            "visits_last",
+            lambda **kw: walk_visit_counts(
+                graph, sources, length, seed=3, record="last", **kw
+            ),
+        ),
+        (
+            "cover",
+            lambda **kw: walk_cover_steps(
+                graph, sources, max(length, 1) * 8, seed=3, **kw
+            ),
+        ),
+    ]
+
+
+class TestChunkWorkerDeterminism:
+    """Results are bit-identical across the chunk x worker grid."""
+
+    @pytest.mark.parametrize("length", [1, 5, 40])
+    def test_grid_identical(self, ba_small, length):
+        sources = np.arange(ba_small.num_nodes).repeat(2)
+        for name, run in _modes(ba_small, sources, length):
+            reference = run()
+            for knobs in GRID:
+                assert np.array_equal(reference, run(**knobs)), f"{name} @ {knobs}"
+
+    def test_grid_identical_ragged_graph(self, ragged):
+        sources = np.array([0, 1, 2, 3, 4, 5, 6, 7, 8, 4, 0])
+        for name, run in _modes(ragged, sources, 12):
+            reference = run()
+            for knobs in GRID:
+                assert np.array_equal(reference, run(**knobs)), f"{name} @ {knobs}"
+
+
+class TestSequentialEquivalence:
+    """The batched path reproduces the per-walk oracle bit for bit."""
+
+    @pytest.mark.parametrize("length", [0, 1, 17])
+    def test_all_modes(self, ba_small, length):
+        sources = np.arange(ba_small.num_nodes)
+        for name, run in _modes(ba_small, sources, length):
+            if name == "cover" and length == 0:
+                continue
+            batched = run(strategy="batched")
+            sequential = run(strategy="sequential")
+            assert np.array_equal(batched, sequential), name
+
+    def test_cover_equivalence(self, k5):
+        sources = np.zeros(30, dtype=np.int64)
+        a = walk_cover_steps(k5, sources, 500, seed=9, strategy="batched")
+        b = walk_cover_steps(k5, sources, 500, seed=9, strategy="sequential")
+        assert np.array_equal(a, b)
+
+    def test_unknown_strategy_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            walk_block(triangle, [0], 3, strategy="diagonal")
+
+
+class TestSeedDiscipline:
+    def test_int_seed_reproducible(self, ba_small):
+        a = walk_block(ba_small, [0, 1, 2], 10, seed=42)
+        b = walk_block(ba_small, [0, 1, 2], 10, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_seedsequence_matches_int(self, ba_small):
+        a = walk_block(ba_small, [0, 1], 8, seed=5)
+        b = walk_block(ba_small, [0, 1], 8, seed=np.random.SeedSequence(5))
+        assert np.array_equal(a, b)
+
+    def test_generator_seed_advances(self, ba_small):
+        """Passing a Generator spawns fresh streams per call."""
+        gen = np.random.default_rng(0)
+        a = walk_block(ba_small, [0, 1], 8, seed=gen)
+        b = walk_block(ba_small, [0, 1], 8, seed=gen)
+        assert not np.array_equal(a, b)
+
+    def test_prefix_stability(self, ba_small):
+        """Walk i's trajectory does not depend on how many walks ride
+        along — the spawn-prefix property the chunk invariance rests on."""
+        few = walk_block(ba_small, [4, 5], 12, seed=11)
+        many = walk_block(ba_small, [4, 5, 6, 7, 8], 12, seed=11)
+        assert np.array_equal(few, many[:2])
+
+
+class TestWalkStructure:
+    def test_block_shape_and_sources(self, ba_small):
+        block = walk_block(ba_small, [3, 1, 4], 6, seed=0)
+        assert block.shape == (3, 7)
+        assert np.array_equal(block[:, 0], [3, 1, 4])
+
+    def test_steps_follow_edges(self, ba_small):
+        block = walk_block(ba_small, np.arange(ba_small.num_nodes), 25, seed=1)
+        for row in block:
+            for a, b in zip(row, row[1:]):
+                assert ba_small.has_edge(int(a), int(b))
+
+    def test_endpoints_match_block(self, ba_small):
+        sources = np.arange(ba_small.num_nodes)
+        block = walk_block(ba_small, sources, 9, seed=2)
+        ends = walk_endpoints(ba_small, sources, 9, seed=2)
+        assert np.array_equal(ends, block[:, -1])
+
+    def test_first_hits_match_block(self, ba_small):
+        sources = np.arange(ba_small.num_nodes)
+        mask = np.zeros(ba_small.num_nodes, dtype=bool)
+        mask[:4] = True
+        block = walk_block(ba_small, sources, 30, seed=4)
+        hits = walk_first_hits(ba_small, sources, 30, mask, seed=4)
+        for row, hit in zip(block, hits):
+            on_mask = np.flatnonzero(mask[row])
+            expected = NO_HIT if on_mask.size == 0 else int(on_mask[0])
+            assert hit == expected
+
+    def test_visit_counts_match_block(self, ba_small):
+        sources = np.arange(ba_small.num_nodes).repeat(3)
+        block = walk_block(ba_small, sources, 11, seed=6)
+        all_counts = walk_visit_counts(
+            ba_small, sources, 11, seed=6, record="all"
+        )
+        last_counts = walk_visit_counts(
+            ba_small, sources, 11, seed=6, record="last"
+        )
+        assert np.array_equal(
+            all_counts,
+            np.bincount(block.ravel(), minlength=ba_small.num_nodes),
+        )
+        assert np.array_equal(
+            last_counts,
+            np.bincount(block[:, -1], minlength=ba_small.num_nodes),
+        )
+        assert all_counts.sum() == sources.size * 12
+
+    def test_empty_sources(self, triangle):
+        assert walk_block(triangle, [], 5).shape == (0, 6)
+        assert walk_endpoints(triangle, [], 5).size == 0
+        mask = np.zeros(3, dtype=bool)
+        assert walk_first_hits(triangle, [], 5, mask).size == 0
+        assert walk_visit_counts(triangle, [], 5).sum() == 0
+        assert walk_cover_steps(triangle, [], 5).size == 0
+
+    def test_validation(self, triangle):
+        with pytest.raises(GraphError):
+            walk_block(triangle, [0, 3], 2)
+        with pytest.raises(GraphError):
+            walk_block(triangle, [-1], 2)
+        with pytest.raises(GraphError):
+            walk_block(triangle, [0], -1)
+        with pytest.raises(GraphError):
+            walk_first_hits(triangle, [0], 2, np.zeros(5, dtype=bool))
+        with pytest.raises(GraphError):
+            walk_visit_counts(triangle, [0], 2, record="middle")
+        with pytest.raises(GraphError):
+            walk_cover_steps(triangle, [0], 0)
+
+
+class TestAdversarialShapes:
+    """Isolated / degree-1 / disconnected sources behave lawfully."""
+
+    def test_isolated_sources_stay(self):
+        g = Graph.empty(4)
+        block = walk_block(g, [0, 2, 3], 9, seed=0)
+        assert np.array_equal(block, np.array([[0] * 10, [2] * 10, [3] * 10]))
+
+    def test_walks_stay_in_component(self, ragged):
+        block = walk_block(ragged, [0, 5, 4, 8], 50, seed=1)
+        assert set(np.unique(block[0])) <= {0, 1, 2, 3}
+        assert set(np.unique(block[1])) <= {5, 6, 7}
+        assert np.all(block[2] == 4)
+        assert np.all(block[3] == 8)
+
+    def test_cover_never_completes_on_disconnected(self, ragged):
+        steps = walk_cover_steps(ragged, [0, 5], 2000, seed=2)
+        assert np.all(steps == NO_HIT)
+
+    def test_first_hit_unreachable_mask(self, ragged):
+        mask = np.zeros(9, dtype=bool)
+        mask[5] = True  # other component
+        hits = walk_first_hits(ragged, [0, 1], 200, mask, seed=3)
+        assert np.all(hits == NO_HIT)
+
+    def test_source_on_mask_hits_at_zero(self, triangle):
+        mask = np.array([True, False, False])
+        hits = walk_first_hits(triangle, [0, 1], 10, mask, seed=4)
+        assert hits[0] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        edges=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 9)),
+            min_size=0,
+            max_size=20,
+        ),
+        length=st.integers(0, 12),
+        seed=st.integers(0, 2**20),
+    )
+    def test_property_grid_and_edges(self, edges, length, seed):
+        """On arbitrary small graphs: every step follows an edge (or
+        stays on an isolated node) and chunking never changes the block."""
+        graph = Graph.from_edges(edges, num_nodes=10)
+        sources = np.arange(10)
+        block = walk_block(graph, sources, length, seed=seed)
+        chunked = walk_block(
+            graph, sources, length, seed=seed, chunk_size=3, workers=2
+        )
+        sequential = walk_block(
+            graph, sources, length, seed=seed, strategy="sequential"
+        )
+        assert np.array_equal(block, chunked)
+        assert np.array_equal(block, sequential)
+        for row in block:
+            for a, b in zip(row, row[1:]):
+                if graph.degree(int(a)) == 0:
+                    assert a == b
+                else:
+                    assert graph.has_edge(int(a), int(b))
+
+
+class TestStatisticalAcceptance:
+    def test_escape_matches_exact_chain(self):
+        """The batched Monte-Carlo escape curve sits on the exact
+        absorbing-chain solve within sampling tolerance."""
+        honest = barabasi_albert(300, 4, seed=0)
+        sybil = complete_graph(30)
+        attack = inject_sybils(honest, sybil, num_attack_edges=30, seed=1)
+        lengths = [2, 5, 10, 20]
+        exact = exact_escape_probability(attack, lengths)
+        measured = measure_escape(attack, lengths, num_walks=4000, seed=2)
+        assert np.all(np.abs(measured.escape - exact.escape) < 0.04)
+
+    def test_escape_grid_invariant(self):
+        honest = barabasi_albert(120, 3, seed=3)
+        attack = inject_sybils(honest, complete_graph(12), 10, seed=4)
+        reference = measure_escape(attack, [3, 9], num_walks=500, seed=5)
+        for knobs in GRID:
+            again = measure_escape(attack, [3, 9], num_walks=500, seed=5, **knobs)
+            assert np.array_equal(reference.escape, again.escape)
+        sequential = measure_escape(
+            attack, [3, 9], num_walks=500, seed=5, strategy="sequential"
+        )
+        assert np.array_equal(reference.escape, sequential.escape)
+
+    def test_hitting_estimator_matches_solve(self):
+        g = cycle_graph(6)
+        exact = hitting_time(g, 0, 2)
+        estimate = estimate_hitting_time(g, 0, 2, num_walks=3000, seed=0)
+        assert estimate == pytest.approx(exact, rel=0.1)
+
+    def test_hitting_estimator_edge_cases(self, k5):
+        assert estimate_hitting_time(k5, 1, 1) == 0.0
+        with pytest.raises(GraphError):
+            estimate_hitting_time(k5, 0, 1, num_walks=0)
+
+    def test_hitting_estimator_budget_failure(self):
+        from repro.generators import path_graph
+
+        with pytest.raises(GraphError):
+            estimate_hitting_time(
+                path_graph(40), 0, 39, num_walks=3, max_steps=5
+            )
+
+
+class TestTelemetryContract:
+    def test_counters_and_spans(self, ba_small):
+        with telemetry.activate() as tel:
+            walk_block(ba_small, [0, 1, 2], 7, seed=0)
+        assert tel.counters["markov.walk.walks"] == 3
+        assert tel.counters["markov.walk.steps"] == 21
+        assert any("markov.walk.block" in p for p in tel.spans)
+        assert any("markov.walk.chunk" in p for p in tel.spans)
+
+    def test_absorbed_counter(self, k5):
+        mask = np.zeros(5, dtype=bool)
+        mask[4] = True
+        with telemetry.activate() as tel:
+            hits = walk_first_hits(k5, [0, 1, 2, 3], 60, mask, seed=0)
+        assert tel.counters["markov.walk.absorbed"] == int(
+            np.count_nonzero(hits != NO_HIT)
+        )
+        assert tel.counters["markov.walk.walks"] == 4
+
+    def test_sequential_counts_too(self, triangle):
+        with telemetry.activate() as tel:
+            walk_endpoints(triangle, [0, 1], 5, seed=0, strategy="sequential")
+        assert tel.counters["markov.walk.walks"] == 2
+        assert tel.counters["markov.walk.steps"] == 10
