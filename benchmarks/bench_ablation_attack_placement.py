@@ -2,11 +2,14 @@
 
 The paper's threat model (and Table II) assumes random attack-edge
 placement.  This ablation sweeps the placement strategy — random,
-degree-targeted, community-clustered — and re-runs GateKeeper, showing
-how much of the published guarantee depends on the placement
-assumption.  Expected shape: targeted placement (hubs) leaks the most
-Sybils (hubs forward many tickets); clustered placement leaks the least
-per edge (the envelope saturates locally) but concentrates the damage.
+degree-targeted, community-clustered — and re-runs GateKeeper plus the
+two fusion defenses, showing how much of the published guarantee
+depends on the placement assumption.  Expected shape: targeted
+placement (hubs) leaks the most Sybils (hubs forward many tickets);
+clustered placement leaks the least per edge (the envelope saturates
+locally) but concentrates the damage; the fusion defenses stay near
+ceiling across placements because their local priors are
+placement-insensitive.
 """
 
 from __future__ import annotations
@@ -16,9 +19,10 @@ from conftest import publish
 from repro.analysis import format_table
 from repro.datasets import load_dataset
 from repro.generators import powerlaw_cluster_mixed
-from repro.sybil import evaluate_gatekeeper, inject_sybils
+from repro.sybil import defense_scores, evaluate_gatekeeper, inject_sybils
 
 STRATEGIES = ["random", "targeted", "clustered"]
+FUSION = ["sybilframe", "sybilfuse"]
 
 
 def _run(scale):
@@ -30,6 +34,7 @@ def _run(scale):
         seed=23,
     )
     rows = {}
+    aucs = {}
     for strategy in STRATEGIES:
         attack = inject_sybils(honest, region, 12, strategy=strategy, seed=23)
         (outcome,) = evaluate_gatekeeper(
@@ -41,32 +46,54 @@ def _run(scale):
             seed=23,
         )
         rows[strategy] = outcome
-    return rows
+        aucs[strategy] = {
+            name: defense_scores(attack, name, suspect_sample=80, seed=23).auc
+            for name in FUSION
+        }
+    return rows, aucs
 
 
 def test_ablation_attack_placement(benchmark, results_dir, scale):
-    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    rows, aucs = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
     rendered = format_table(
-        ["placement", "honest accepted", "sybils / attack edge"],
+        [
+            "placement",
+            "honest accepted",
+            "sybils / attack edge",
+            "sybilframe AUC",
+            "sybilfuse AUC",
+        ],
         [
             [
                 strategy,
                 f"{rows[strategy].honest_acceptance:.1%}",
                 f"{rows[strategy].sybils_per_attack_edge:.2f}",
+                f"{aucs[strategy]['sybilframe']:.4f}",
+                f"{aucs[strategy]['sybilfuse']:.4f}",
             ]
             for strategy in STRATEGIES
         ],
         title=(
-            f"Ablation — GateKeeper (f=0.2, g=12) under attack-edge "
-            f"placement strategies (facebook_a analog, scale={scale})"
+            f"Ablation — GateKeeper (f=0.2, g=12) + fusion AUC under "
+            f"attack-edge placement strategies (facebook_a analog, "
+            f"scale={scale})"
         ),
     )
     publish(results_dir, "ablation_attack_placement", rendered)
     for strategy in STRATEGIES:
         # the admission guarantee holds under every placement
         assert rows[strategy].honest_acceptance > 0.85, strategy
+        # fusion separates honest from Sybil under every placement
+        for name in FUSION:
+            assert aucs[strategy][name] > 0.5, (strategy, name)
     # hub placement leaks at least as much as clustered placement
     assert (
         rows["targeted"].sybils_per_attack_edge
         >= rows["clustered"].sybils_per_attack_edge - 1.0
     )
+    if scale >= 0.2:
+        # at paper-grade scale the fusion defenses stay near ceiling
+        # regardless of where the adversary attaches its edges
+        for strategy in STRATEGIES:
+            for name in FUSION:
+                assert aucs[strategy][name] > 0.9, (strategy, name)

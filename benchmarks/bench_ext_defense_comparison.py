@@ -1,19 +1,37 @@
-"""Extension: all five defenses, fast vs slow graph (Viswanath-style).
+"""Extension: the full defense registry, fast vs slow graph.
 
 Runs GateKeeper, SybilGuard, SybilLimit, SybilInfer, SybilRank,
-SybilDefender, SumUp and the common-core ranking on the same attack scenarios, on one fast-mixing
-and one slow-mixing analog.  Expected shape (the comparison papers'
-finding, and this paper's premise): every defense separates honest from
-Sybil on the fast mixer; every defense pays on the slow mixer.
+SybilDefender, SumUp, the common-core ranking and the two fusion
+defenses (SybilFrame, SybilFuse) on the same attack scenarios, on one
+fast-mixing and one slow-mixing analog.  Expected shape (the comparison
+papers' finding, and this paper's premise): every defense separates
+honest from Sybil on the fast mixer; every defense pays on the slow
+mixer.
+
+The fusion smoke benchmark is the headline ablation: on the *wild*
+(sparse, tree-like) Sybil topology — where structure-only defenses lose
+their cut — both fusion defenses must beat every structure-only midrank
+AUC, and their ``sybil.fusion.*`` telemetry counters must land in the
+published metrics document.
 """
 
 from __future__ import annotations
 
-from conftest import publish
+import json
 
+from conftest import publish, publish_metrics
+
+from repro import telemetry
 from repro.analysis import format_table
 from repro.datasets import load_dataset
-from repro.sybil import DEFENSE_NAMES, compare_defenses, standard_attack
+from repro.sybil import (
+    DEFENSE_NAMES,
+    FUSION_DEFENSE_NAMES,
+    STRUCTURE_DEFENSE_NAMES,
+    compare_defenses,
+    defense_scores,
+    standard_attack,
+)
 
 DATASETS = ["facebook_a", "physics2"]
 
@@ -47,7 +65,7 @@ def test_ext_defense_comparison(benchmark, results_dir, scale):
         ["dataset", "defense", "honest accepted", "sybils / attack edge"],
         rows,
         title=(
-            "Extension — eight defenses on a fast vs a slow analog "
+            "Extension — ten defenses on a fast vs a slow analog "
             f"(scale={min(scale, 0.2)})"
         ),
     )
@@ -72,3 +90,60 @@ def test_ext_defense_comparison(benchmark, results_dir, scale):
         assert (
             slow[defense].honest_acceptance <= fast[defense].honest_acceptance + 0.02
         ), defense
+
+
+def _run_fusion_smoke(scale):
+    effective = min(scale, 0.2)
+    honest = load_dataset("facebook_a", scale=effective)
+    attack = standard_attack(
+        honest, max(honest.num_nodes // 20, 5), seed=9, topology="wild"
+    )
+    with telemetry.activate() as tel:
+        scores = {
+            name: defense_scores(attack, name, suspect_sample=80, seed=9)
+            for name in DEFENSE_NAMES
+        }
+    return attack, scores, tel
+
+
+def test_fusion_smoke_wild_topology(benchmark, results_dir, scale):
+    attack, scores, tel = benchmark.pedantic(
+        _run_fusion_smoke, args=(scale,), rounds=1, iterations=1
+    )
+    aucs = {name: s.auc for name, s in scores.items()}
+    rendered = format_table(
+        ["defense", "family", "AUC"],
+        [
+            [
+                name,
+                "fusion" if name in FUSION_DEFENSE_NAMES else "structure",
+                f"{auc:.4f}",
+            ]
+            for name, auc in sorted(aucs.items(), key=lambda kv: -kv[1])
+        ],
+        title=(
+            f"Fusion smoke — wild Sybil topology, g={attack.num_attack_edges} "
+            f"(facebook_a analog, scale={min(scale, 0.2)})"
+        ),
+    )
+    publish(results_dir, "fusion_smoke_wild", rendered)
+    metrics_path = publish_metrics(results_dir, "fusion_smoke_wild", tel)
+
+    # metrics-JSON contract: the fusion counters land in the document
+    doc = json.loads(metrics_path.read_text(encoding="utf-8"))
+    counters = doc["counters"]
+    num_half_edges = attack.graph.indices.size
+    assert counters["sybil.fusion.priors.nodes"] >= attack.graph.num_nodes
+    assert counters["sybil.fusion.bp.rounds"] >= 1
+    assert counters["sybil.fusion.bp.messages"] >= num_half_edges
+    assert "sybil.fusion.bp.converged" in counters
+    # span paths are nested ("/"-joined); the BP span appears somewhere
+    assert any("sybil.fusion.bp" in name for name in doc["spans"])
+
+    for auc in aucs.values():
+        assert 0.0 <= auc <= 1.0
+    # the paper-grade claim needs a non-toy graph; CI smoke runs at 0.05
+    if min(scale, 0.2) >= 0.2:
+        best_structure = max(aucs[n] for n in STRUCTURE_DEFENSE_NAMES)
+        for name in FUSION_DEFENSE_NAMES:
+            assert aucs[name] > best_structure, (name, aucs)

@@ -38,7 +38,16 @@ from repro.expansion.envelope import (
 from repro.graph.core import Graph
 from repro.mixing.sampling import MixingProfile
 from repro.mixing.spectral import MixingBounds
+from repro.sybil.attack import SybilAttack
+from repro.sybil.comparison import DefenseScores
 from repro.sybil.escape import EscapeMeasurement
+from repro.sybil.fusion import (
+    BeliefPropagationResult,
+    FusionConfig,
+    PriorConfig,
+    SybilFrameResult,
+    SybilFuseResult,
+)
 from repro.sybil.gatekeeper import GateKeeperConfig, GateKeeperResult
 from repro.sybil.harness import DefenseOutcome
 from repro.sybil.sumup import SumUpResult
@@ -115,19 +124,26 @@ def _resolve_lazy(name: str) -> type | None:
 
 for _cls in (
     AnonymityProfile,
+    BeliefPropagationResult,
     CoreStructure,
     DefenseOutcome,
+    DefenseScores,
     DeliveryStats,
     EscapeMeasurement,
     ExpansionMeasurement,
     ExpansionSummary,
+    FusionConfig,
     GateKeeperConfig,
     GateKeeperResult,
     LookupResult,
     MixingBounds,
     MixingProfile,
+    PriorConfig,
     SourceExpansion,
     SumUpResult,
+    SybilAttack,
+    SybilFrameResult,
+    SybilFuseResult,
     SybilInferResult,
     SybilRankResult,
     TicketDistribution,

@@ -15,6 +15,10 @@ Commands
     Run the full measurement DAG (load -> mixing/spectral/cores/
     expansion/gatekeeper -> tables) with per-stage memoization; a
     second run against the same cache directory recomputes nothing.
+``sybil compare --target T [--topology wild|powerlaw]``
+    Run every registered Sybil defense (structure-only and fusion) on
+    one attack scenario and print the midrank-AUC comparison table —
+    the fusion-vs-structure ablation, memoized like the pipeline.
 
 ``audit``, ``report`` and ``reproduce`` accept the same ``--cache-dir``
 flag, sharing warm artifacts with the pipeline.
@@ -50,7 +54,7 @@ from repro.expansion import envelope_expansion
 from repro.graph import largest_connected_component, read_edge_list
 from repro.mixing import is_fast_mixing, sinclair_bounds, slem
 from repro import telemetry
-from repro.pipeline import paper_measurement_pipeline
+from repro.pipeline import fusion_comparison_pipeline, paper_measurement_pipeline
 from repro.store import ArtifactStore, memoize
 
 __all__ = ["main"]
@@ -328,6 +332,52 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sybil(args: argparse.Namespace) -> int:
+    pipeline = fusion_comparison_pipeline(
+        args.target,
+        scale=args.scale,
+        seed=args.seed,
+        num_attack_edges=args.attack_edges,
+        topology=args.topology,
+        suspect_sample=args.suspect_sample,
+        store=_store_from(args),
+        workers=args.workers,
+    )
+    result = pipeline.run()
+    report = result.results["report"]
+    attack = result.results["attack"]
+    print(
+        f"attack: {attack.num_honest} honest + {attack.num_sybil} sybil "
+        f"({report['topology']} region), {attack.num_attack_edges} attack edges"
+    )
+    from repro.sybil import FUSION_DEFENSE_NAMES
+
+    rows = [
+        [
+            name,
+            "fusion" if name in FUSION_DEFENSE_NAMES else "structure",
+            f"{auc:.4f}",
+        ]
+        for name, auc in sorted(
+            report["auc"].items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print(
+        format_table(
+            ["defense", "family", "AUC"],
+            rows,
+            title="Fusion-vs-structure comparison (midrank ROC AUC)",
+        )
+    )
+    verdict = (
+        "both fusion defenses beat every structure-only AUC"
+        if report["fusion_beats_structure"]
+        else "fusion does not dominate on this scenario"
+    )
+    print(f"verdict: {verdict}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -402,6 +452,35 @@ def main(argv: list[str] | None = None) -> int:
             "--stages",
             help="comma-separated target stages (their dependencies run too)",
         )
+    sybil = sub.add_parser(
+        "sybil",
+        help="compare Sybil defenses (structure-only vs fusion) on one attack",
+    )
+    sybil_sub = sybil.add_subparsers(dest="sybil_command", required=True)
+    compare = sybil_sub.add_parser(
+        "compare",
+        help="run all registered defenses and print the midrank-AUC table",
+        parents=[metrics],
+    )
+    compare.add_argument(
+        "--target", required=True, help="edge-list path or bundled dataset name"
+    )
+    compare.add_argument(
+        "--topology",
+        choices=["wild", "powerlaw"],
+        default="wild",
+        help="Sybil-region shape (wild = sparse tree-like, per arXiv 1106.5321)",
+    )
+    compare.add_argument(
+        "--attack-edges",
+        type=int,
+        help="number of attack edges g (default: nodes/20, at least 5)",
+    )
+    compare.add_argument("--scale", type=float, default=0.25)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--suspect-sample", type=int, default=120)
+    compare.add_argument("--workers", type=int)
+    compare.add_argument("--cache-dir", help=cache_help)
     args = parser.parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
@@ -409,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "report": _cmd_report,
         "pipeline": _cmd_pipeline,
+        "sybil": _cmd_sybil,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace = getattr(args, "trace", False)

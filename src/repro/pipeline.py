@@ -44,7 +44,12 @@ from repro.graph.ops import largest_connected_component
 from repro.mixing.sampling import is_fast_mixing, sampled_mixing_profile
 from repro.mixing.spectral import sinclair_bounds, slem
 from repro.store import ArtifactStore, graph_digest
-from repro.sybil.harness import gatekeeper_table_row
+from repro.sybil.comparison import (
+    FUSION_DEFENSE_NAMES,
+    STRUCTURE_DEFENSE_NAMES,
+    defense_scores,
+)
+from repro.sybil.harness import gatekeeper_table_row, standard_attack
 
 __all__ = [
     "Stage",
@@ -53,6 +58,8 @@ __all__ = [
     "PipelineResult",
     "paper_measurement_pipeline",
     "PAPER_STAGES",
+    "fusion_comparison_pipeline",
+    "FUSION_STAGES",
 ]
 
 #: Stage names of the standard paper pipeline, in topological order.
@@ -64,6 +71,15 @@ PAPER_STAGES = (
     "expansion",
     "gatekeeper",
     "tables",
+)
+
+#: Stage names of the fusion-vs-structure comparison pipeline.
+FUSION_STAGES = (
+    "load",
+    "attack",
+    "structure_scores",
+    "fusion_scores",
+    "report",
 )
 
 
@@ -501,6 +517,109 @@ def paper_measurement_pipeline(
                 "walk_lengths": lengths,
                 "num_controllers": num_controllers,
             },
+        ),
+    ]
+    return Pipeline(stages, store=store, workers=workers, graph_stage="load")
+
+
+def fusion_comparison_pipeline(
+    target: str,
+    scale: float = 0.25,
+    seed: int = 0,
+    num_attack_edges: int | None = None,
+    topology: str = "wild",
+    suspect_sample: int = 120,
+    store: ArtifactStore | None = None,
+    workers: int | None = None,
+) -> Pipeline:
+    """Build the fusion-vs-structure ablation DAG for one target graph.
+
+    Loads ``target``, attaches a Sybil region (``topology="wild"`` by
+    default — the sparse regime where structure-only defenses lose
+    their cut), extracts every defense's trust-score view in two
+    independent stages (the structure-only eight and the fusion two, so
+    they memoize separately and run concurrently), and reports the
+    per-defense midrank AUC table with the headline verdict: does each
+    fusion defense beat every structure-only AUC?
+    """
+    load_digest = _target_digest(target, scale, seed)
+
+    def load(_: dict[str, Any]) -> Graph:
+        return _load_target(target, scale, seed)
+
+    def attack(deps: dict[str, Any]):
+        graph: Graph = deps["load"]
+        edges = (
+            num_attack_edges
+            if num_attack_edges is not None
+            else max(graph.num_nodes // 20, 5)
+        )
+        return standard_attack(graph, edges, seed=seed, topology=topology)
+
+    def score_stage(names: tuple[str, ...]):
+        def run(deps: dict[str, Any]) -> dict[str, Any]:
+            return {
+                name: defense_scores(
+                    deps["attack"],
+                    name,
+                    suspect_sample=suspect_sample,
+                    seed=seed,
+                )
+                for name in names
+            }
+
+        return run
+
+    def report(deps: dict[str, Any]) -> dict[str, Any]:
+        aucs = {
+            name: scores.auc
+            for stage in ("structure_scores", "fusion_scores")
+            for name, scores in deps[stage].items()
+        }
+        best_structure = max(
+            aucs[name] for name in STRUCTURE_DEFENSE_NAMES
+        )
+        return {
+            "target": target,
+            "topology": topology,
+            "auc": aucs,
+            "best_structure_auc": best_structure,
+            "fusion_beats_structure": all(
+                aucs[name] > best_structure for name in FUSION_DEFENSE_NAMES
+            ),
+        }
+
+    attack_params = {
+        "seed": seed,
+        "topology": topology,
+        "num_attack_edges": num_attack_edges,
+    }
+    score_params = {**attack_params, "suspect_sample": suspect_sample}
+    stages = [
+        Stage(
+            "load",
+            load,
+            params={"target": target, "scale": scale, "seed": seed},
+            digest=load_digest,
+        ),
+        Stage("attack", attack, deps=("load",), params=attack_params),
+        Stage(
+            "structure_scores",
+            score_stage(STRUCTURE_DEFENSE_NAMES),
+            deps=("attack",),
+            params=score_params,
+        ),
+        Stage(
+            "fusion_scores",
+            score_stage(FUSION_DEFENSE_NAMES),
+            deps=("attack",),
+            params=score_params,
+        ),
+        Stage(
+            "report",
+            report,
+            deps=("structure_scores", "fusion_scores"),
+            params=score_params,
         ),
     ]
     return Pipeline(stages, store=store, workers=workers, graph_stage="load")

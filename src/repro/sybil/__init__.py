@@ -1,9 +1,31 @@
-"""Social-network Sybil defenses: attack model, five published defenses
-(GateKeeper, SybilGuard, SybilLimit, SybilInfer, SumUp) and a shared
+"""Social-network Sybil defenses: attack model, the published
+structure-only defenses (GateKeeper, SybilGuard, SybilLimit, SybilInfer,
+SybilRank, SybilDefender, SumUp), the fusion family (SybilFrame,
+SybilFuse over local priors + loopy belief propagation) and a shared
 evaluation harness."""
 
-from repro.sybil.attack import SybilAttack, inject_sybils
-from repro.sybil.comparison import DEFENSE_NAMES, compare_defenses, evaluate_defense
+from repro.sybil.attack import SybilAttack, inject_sybils, wild_sybil_region
+from repro.sybil.comparison import (
+    DEFENSE_NAMES,
+    FUSION_DEFENSE_NAMES,
+    STRUCTURE_DEFENSE_NAMES,
+    DefenseScores,
+    compare_defenses,
+    defense_scores,
+    evaluate_defense,
+    roc_auc,
+)
+from repro.sybil.fusion import (
+    BeliefPropagationResult,
+    FusionConfig,
+    PriorConfig,
+    SybilFrame,
+    SybilFrameResult,
+    SybilFuse,
+    SybilFuseResult,
+    extract_priors,
+    loopy_belief_propagation,
+)
 from repro.sybil.escape import (
     EscapeMeasurement,
     exact_escape_probability,
@@ -42,9 +64,24 @@ from repro.sybil.tickets import (
 __all__ = [
     "SybilAttack",
     "inject_sybils",
+    "wild_sybil_region",
     "DEFENSE_NAMES",
+    "STRUCTURE_DEFENSE_NAMES",
+    "FUSION_DEFENSE_NAMES",
     "evaluate_defense",
     "compare_defenses",
+    "roc_auc",
+    "DefenseScores",
+    "defense_scores",
+    "PriorConfig",
+    "extract_priors",
+    "BeliefPropagationResult",
+    "loopy_belief_propagation",
+    "FusionConfig",
+    "SybilFrame",
+    "SybilFrameResult",
+    "SybilFuse",
+    "SybilFuseResult",
     "EscapeMeasurement",
     "measure_escape",
     "exact_escape_probability",

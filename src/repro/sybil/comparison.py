@@ -10,14 +10,31 @@ accounting.
 Route-based defenses are evaluated on a suspect sample (their per-pair
 verification is expensive by design); sample-based results are rescaled
 to the full graph by stratifying honest and Sybil suspects.
+
+Besides the accept/reject view, every defense also exposes a *score*
+view (:func:`defense_scores`): a trust score per node (or per sampled
+suspect for the route-based defenses), summarized as a ROC AUC with
+**midrank** tie handling.  Midranks matter: honest ids precede Sybil
+ids in every attack scenario, so breaking score ties by node id (the
+ranking-order convention) silently awards every tie to the honest side
+and inflates AUC — ties must earn half credit instead.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.sybil.attack import SybilAttack
+from repro.sybil.fusion import (
+    FusionConfig,
+    PriorConfig,
+    SybilFrame,
+    SybilFuse,
+    extract_priors,
+)
 from repro.sybil.gatekeeper import GateKeeper, GateKeeperConfig
 from repro.sybil.harness import DefenseOutcome
 from repro.sybil.ranking import accept_top, walk_probability_ranking
@@ -28,9 +45,18 @@ from repro.sybil.sybilrank import SybilRank
 from repro.sybil.sybilinfer import SybilInfer, SybilInferConfig
 from repro.sybil.sybillimit import SybilLimit, SybilLimitConfig
 
-__all__ = ["DEFENSE_NAMES", "evaluate_defense", "compare_defenses"]
+__all__ = [
+    "DEFENSE_NAMES",
+    "STRUCTURE_DEFENSE_NAMES",
+    "FUSION_DEFENSE_NAMES",
+    "evaluate_defense",
+    "compare_defenses",
+    "roc_auc",
+    "DefenseScores",
+    "defense_scores",
+]
 
-DEFENSE_NAMES = (
+STRUCTURE_DEFENSE_NAMES = (
     "gatekeeper",
     "sybilguard",
     "sybillimit",
@@ -40,6 +66,13 @@ DEFENSE_NAMES = (
     "sumup",
     "ranking",
 )
+
+FUSION_DEFENSE_NAMES = (
+    "sybilframe",
+    "sybilfuse",
+)
+
+DEFENSE_NAMES = STRUCTURE_DEFENSE_NAMES + FUSION_DEFENSE_NAMES
 
 
 def _stratified_suspects(
@@ -75,6 +108,20 @@ def _sampled_outcome(
     return honest_rate, sybils_total / max(attack.num_attack_edges, 1)
 
 
+def _fusion_inputs(
+    attack: SybilAttack,
+    verifier: int,
+    seed: int,
+    prior_config: PriorConfig | None,
+    fusion_config: FusionConfig | None,
+) -> tuple[np.ndarray, FusionConfig]:
+    """Shared prior extraction for the fusion defenses."""
+    priors = extract_priors(
+        attack, trusted=verifier, config=prior_config or PriorConfig(seed=seed)
+    )
+    return priors, fusion_config or FusionConfig(seed=seed)
+
+
 def evaluate_defense(
     attack: SybilAttack,
     defense: str,
@@ -82,11 +129,14 @@ def evaluate_defense(
     suspect_sample: int = 120,
     dataset: str = "unknown",
     seed: int = 0,
+    prior_config: PriorConfig | None = None,
+    fusion_config: FusionConfig | None = None,
 ) -> DefenseOutcome:
     """Run one defense on one attack scenario.
 
     ``verifier`` is the honest controller / verifier / trusted node /
-    vote collector, depending on the defense.
+    vote collector, depending on the defense.  ``prior_config`` /
+    ``fusion_config`` parameterize the fusion defenses only.
     """
     if defense not in DEFENSE_NAMES:
         raise SybilDefenseError(
@@ -144,6 +194,19 @@ def evaluate_defense(
         per_edge = (
             sybil_votes / max(sybil_sample.size, 1) * attack.num_sybil
         ) / max(attack.num_attack_edges, 1)
+    elif defense == "sybilframe":
+        priors, fcfg = _fusion_inputs(
+            attack, verifier, seed, prior_config, fusion_config
+        )
+        result = SybilFrame(attack.graph, fcfg).run(verifier, priors)
+        honest_frac, per_edge = attack.evaluate_accepted(result.accepted(0.5))
+    elif defense == "sybilfuse":
+        priors, fcfg = _fusion_inputs(
+            attack, verifier, seed, prior_config, fusion_config
+        )
+        result = SybilFuse(attack.graph, fcfg).run(verifier, priors)
+        accepted = result.accepted(attack.num_honest)
+        honest_frac, per_edge = attack.evaluate_accepted(accepted)
     else:  # ranking
         scores = walk_probability_ranking(attack.graph, trusted=verifier)
         accepted = accept_top(scores, attack.num_honest)
@@ -178,3 +241,144 @@ def compare_defenses(
         )
         for name in defenses
     ]
+
+
+def roc_auc(scores: np.ndarray, is_sybil: np.ndarray) -> float:
+    """ROC AUC of trust ``scores`` against Sybil labels, with midranks.
+
+    Equals the probability that a uniformly chosen honest node outscores
+    a uniformly chosen Sybil, counting ties as half a win (the
+    Mann-Whitney statistic).  The midrank handling is the point: the
+    earlier ranking-induced computation broke ties by node id, and since
+    honest ids always precede Sybil ids in :class:`SybilAttack`, every
+    tie was silently awarded to the honest side — defenses that scored
+    large regions identically (e.g. reach counts of zero) reported
+    inflated AUCs.  Pinned by the known-AUC fixture in the test suite:
+    scores ``[0.9, 0.5, 0.5, 0.1]`` with the middle pair split across
+    labels must give exactly 0.875.
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(is_sybil, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise SybilDefenseError("scores and labels must be matching 1-d arrays")
+    num_sybil = int(labels.sum())
+    num_honest = labels.size - num_sybil
+    if num_honest == 0 or num_sybil == 0:
+        raise SybilDefenseError("AUC needs both honest and Sybil labels")
+    _, inverse, counts = np.unique(
+        scores, return_inverse=True, return_counts=True
+    )
+    group_end = np.cumsum(counts)
+    midranks = group_end - (counts - 1) / 2.0
+    ranks = midranks[inverse]
+    honest_rank_sum = float(ranks[~labels].sum())
+    return (honest_rank_sum - num_honest * (num_honest + 1) / 2.0) / (
+        num_honest * num_sybil
+    )
+
+
+@dataclass(frozen=True)
+class DefenseScores:
+    """Per-node trust scores of one defense, with the induced AUC.
+
+    ``nodes`` are the scored node ids (the whole graph for
+    score-producing defenses; the stratified suspect sample for the
+    route/vote defenses whose verdicts are binary per pair), ``scores``
+    the matching trust values (higher = more trusted), ``auc`` the
+    midrank ROC AUC of those scores against the true Sybil labels.
+    """
+
+    defense: str
+    nodes: np.ndarray
+    scores: np.ndarray
+    auc: float
+
+
+def defense_scores(
+    attack: SybilAttack,
+    defense: str,
+    verifier: int = 0,
+    suspect_sample: int = 120,
+    seed: int = 0,
+    prior_config: PriorConfig | None = None,
+    fusion_config: FusionConfig | None = None,
+) -> DefenseScores:
+    """Extract one defense's trust-score view of an attack scenario.
+
+    Score-producing defenses (ranking, SybilRank, SybilInfer,
+    GateKeeper, SybilFrame, SybilFuse) score every node; the route- and
+    vote-based defenses (SybilGuard, SybilLimit, SybilDefender, SumUp)
+    yield accept/reject indicators over the stratified suspect sample —
+    their coarse, tie-heavy scores are exactly why :func:`roc_auc` must
+    midrank.
+    """
+    if defense not in DEFENSE_NAMES:
+        raise SybilDefenseError(
+            f"unknown defense {defense!r}; expected one of {DEFENSE_NAMES}"
+        )
+    if not 0 <= verifier < attack.num_honest:
+        raise SybilDefenseError("the verifier must be an honest node")
+    rng = np.random.default_rng(seed)
+    honest_sample, sybil_sample = _stratified_suspects(attack, suspect_sample, rng)
+    suspects = np.concatenate([honest_sample, sybil_sample])
+    all_nodes = np.arange(attack.graph.num_nodes, dtype=np.int64)
+
+    nodes = all_nodes
+    if defense == "gatekeeper":
+        result = GateKeeper(
+            attack.graph,
+            GateKeeperConfig(num_distributors=50, admission_factor=0.2, seed=seed),
+        ).run(verifier)
+        scores = result.reach_counts.astype(float)
+    elif defense == "sybilinfer":
+        infer = SybilInfer(
+            attack.graph,
+            SybilInferConfig(num_samples=80, burn_in=40, seed=seed),
+        )
+        scores = infer.run(verifier).honest_probability
+    elif defense == "sybilrank":
+        scores = SybilRank(attack.graph).run(seeds=[verifier]).normalized
+    elif defense == "ranking":
+        scores = walk_probability_ranking(attack.graph, trusted=verifier)
+    elif defense == "sybilframe":
+        priors, fcfg = _fusion_inputs(
+            attack, verifier, seed, prior_config, fusion_config
+        )
+        scores = SybilFrame(attack.graph, fcfg).run(verifier, priors).posterior
+    elif defense == "sybilfuse":
+        priors, fcfg = _fusion_inputs(
+            attack, verifier, seed, prior_config, fusion_config
+        )
+        scores = SybilFuse(attack.graph, fcfg).run(verifier, priors).scores
+    elif defense == "sumup":
+        sumup = SumUp(attack.graph)
+        nodes = suspects
+        scores = np.array(
+            [
+                float(sumup.collect(verifier, np.array([s])).collected_votes)
+                for s in suspects
+            ]
+        )
+    else:  # sybilguard / sybillimit / sybildefender: binary per-pair verdicts
+        if defense == "sybilguard":
+            accepted = SybilGuard(
+                attack.graph, SybilGuardConfig(seed=seed)
+            ).accepted_set(verifier, suspects)
+        elif defense == "sybillimit":
+            accepted = SybilLimit(
+                attack.graph, SybilLimitConfig(seed=seed)
+            ).verify_all(verifier, suspects)
+        else:
+            accepted = SybilDefender(
+                attack.graph, SybilDefenderConfig(seed=seed)
+            ).accepted_set(verifier, suspects)
+        accepted_set = set(int(x) for x in np.asarray(accepted))
+        nodes = suspects
+        scores = np.array([float(int(s) in accepted_set) for s in suspects])
+    is_sybil = nodes >= attack.num_honest
+    return DefenseScores(
+        defense=defense,
+        nodes=np.asarray(nodes, dtype=np.int64),
+        scores=np.asarray(scores, dtype=float),
+        auc=roc_auc(scores, is_sybil),
+    )

@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import SybilDefenseError
 from repro.generators import powerlaw_cluster_mixed
 from repro.graph.core import Graph
-from repro.sybil.attack import SybilAttack, inject_sybils
+from repro.sybil.attack import SybilAttack, inject_sybils, wild_sybil_region
 from repro.sybil.gatekeeper import GateKeeper, GateKeeperConfig
 
 __all__ = [
@@ -49,25 +49,36 @@ def standard_attack(
     num_attack_edges: int,
     sybil_scale: float = 0.2,
     seed: int = 0,
+    topology: str = "powerlaw",
 ) -> SybilAttack:
     """Attach a standard Sybil region to ``honest``.
 
-    The Sybil region is itself a small power-law social graph (the
+    By default the Sybil region is a small power-law social graph (the
     adversary is free to pick any internal topology; a social-looking
     one maximizes its chance of fooling structural defenses) with
-    ``sybil_scale * n`` identities.
+    ``sybil_scale * n`` identities.  ``topology="wild"`` instead builds
+    the sparse, tree-like region measured on real social networks
+    (:func:`~repro.sybil.attack.wild_sybil_region`) — the regime where
+    structure-only defenses lose their cut.
     """
     if not 0.0 < sybil_scale <= 2.0:
         raise SybilDefenseError("sybil_scale must be in (0, 2]")
     sybil_nodes = max(int(honest.num_nodes * sybil_scale), 20)
-    region = powerlaw_cluster_mixed(
-        sybil_nodes,
-        min_attachment=2,
-        max_attachment=max(6, sybil_nodes // 50),
-        attachment_exponent=2.0,
-        triad_probability=0.3,
-        seed=seed + 17,
-    )
+    if topology == "powerlaw":
+        region = powerlaw_cluster_mixed(
+            sybil_nodes,
+            min_attachment=2,
+            max_attachment=max(6, sybil_nodes // 50),
+            attachment_exponent=2.0,
+            triad_probability=0.3,
+            seed=seed + 17,
+        )
+    elif topology == "wild":
+        region = wild_sybil_region(sybil_nodes, seed=seed + 17)
+    else:
+        raise SybilDefenseError(
+            f"unknown sybil topology {topology!r}; use 'powerlaw' or 'wild'"
+        )
     return inject_sybils(
         honest, region, num_attack_edges, strategy="random", seed=seed
     )

@@ -74,6 +74,24 @@ def tiny_physics() -> Graph:
     return load_dataset("physics1", scale=0.15)
 
 
+@pytest.fixture(params=["powerlaw", "wild"], scope="session")
+def sybil_topology(request) -> str:
+    """Both Sybil-region shapes: the classical tight-knit power-law blob
+    and the sparse tree-like region measured in the wild (arXiv
+    1106.5321).  Parametrizing here runs every consuming sybil test
+    under both regimes."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def topology_attack(sybil_topology):
+    """A standard attack scenario under each Sybil-region topology."""
+    from repro.sybil import standard_attack
+
+    honest = barabasi_albert(150, 3, seed=2)
+    return standard_attack(honest, 8, seed=2, topology=sybil_topology)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)

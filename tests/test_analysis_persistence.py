@@ -38,7 +38,16 @@ def _instances():
     )
     from repro.mixing.sampling import MixingProfile
     from repro.mixing.spectral import MixingBounds
+    from repro.sybil.attack import SybilAttack
+    from repro.sybil.comparison import DefenseScores
     from repro.sybil.escape import EscapeMeasurement
+    from repro.sybil.fusion import (
+        BeliefPropagationResult,
+        FusionConfig,
+        PriorConfig,
+        SybilFrameResult,
+        SybilFuseResult,
+    )
     from repro.sybil.gatekeeper import GateKeeperConfig, GateKeeperResult
     from repro.sybil.sumup import SumUpResult
     from repro.sybil.sybilinfer import SybilInferResult
@@ -109,6 +118,38 @@ def _instances():
             lazy=True,
         ),
         SourceExpansion(source=3, level_sizes=np.array([1, 4, 9])),
+        SybilAttack(
+            graph=Graph.from_edges([(0, 1), (1, 2), (2, 3)]),
+            num_honest=3,
+            attack_edges=np.array([[2, 3]], dtype=np.int64),
+        ),
+        DefenseScores(
+            defense="sybilframe",
+            nodes=np.array([0, 1, 2], dtype=np.int64),
+            scores=np.array([0.9, 0.8, 0.1]),
+            auc=1.0,
+        ),
+        BeliefPropagationResult(
+            beliefs=np.array([[0.2, 0.8], [0.7, 0.3]]),
+            converged=True,
+            rounds=12,
+            delta=1e-7,
+        ),
+        FusionConfig(homophily=0.85, walk_mix=0.25, seed=3),
+        PriorConfig(behavior_noise=0.05, seed=11),
+        SybilFrameResult(
+            posterior=np.array([0.95, 0.1]),
+            priors=np.array([0.8, 0.3]),
+            converged=True,
+            rounds=7,
+        ),
+        SybilFuseResult(
+            scores=np.array([0.9, 0.2]),
+            posterior=np.array([0.95, 0.1]),
+            walk_trust=np.array([0.8, 0.5]),
+            converged=False,
+            rounds=50,
+        ),
         SumUpResult(
             collector=0, voters=np.array([1, 2, 3]), collected_votes=2, max_possible=3
         ),

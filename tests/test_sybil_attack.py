@@ -59,10 +59,16 @@ class TestInjectSybils:
         with pytest.raises(SybilDefenseError):
             inject_sybils(honest, complete_graph(5), 2, strategy="bribe")
 
-    def test_zero_attack_edges_rejected(self):
+    def test_zero_attack_edges_gives_disconnected_region(self):
+        """g=0 is a legal scenario (the metamorphic baseline: a Sybil
+        region with no path into the honest region); only negative
+        edge counts are rejected."""
         honest = barabasi_albert(50, 2, seed=8)
+        attack = inject_sybils(honest, complete_graph(5), 0)
+        assert attack.num_attack_edges == 0
+        assert attack.attack_edges.shape == (0, 2)
         with pytest.raises(SybilDefenseError):
-            inject_sybils(honest, complete_graph(5), 0)
+            inject_sybils(honest, complete_graph(5), -1)
 
     def test_empty_region_rejected(self):
         with pytest.raises(SybilDefenseError):
