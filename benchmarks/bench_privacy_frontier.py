@@ -1,0 +1,113 @@
+"""Extension: the link-privacy vs. defense-utility frontier.
+
+Sweeps the Mittal et al. (arXiv 1208.6189) t-step random-walk edge
+rewiring over the standard attack scenario on a fast-mixing analog and
+publishes the frontier: per-level privacy (1 - edge overlap), mixing
+degradation (mean TVD-profile shift from the unperturbed graph, per
+arXiv 1610.05646's mixing-estimation framing), utility retention, and
+the midrank ROC AUC of all ten registered defenses.
+
+Expected shape (the paper's thesis run in reverse): as t grows the
+published links decouple from the real ones, the mixing profile drifts
+from the original, and every structural defense loses signal — privacy
+and mixing degradation rise monotonically while the mean defense AUC
+falls.  Both monotone laws are gated at scale >= 0.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import publish, publish_metrics
+
+from repro import telemetry
+from repro.analysis import format_table
+from repro.datasets import load_dataset
+from repro.privacy import privacy_utility_frontier
+
+DATASET = "facebook_a"
+TS = (0, 1, 2, 5, 10)
+
+
+def _run(scale, num_sources):
+    honest = load_dataset(DATASET, scale=min(scale, 0.2))
+    return privacy_utility_frontier(
+        honest,
+        ts=TS,
+        suspect_sample=80,
+        num_sources=num_sources,
+        seed=9,
+        target=DATASET,
+    )
+
+
+def _gate(scale) -> bool:
+    """Noise floors only hold at reasonable scale."""
+    return scale >= 0.2
+
+
+def test_privacy_frontier(benchmark, results_dir, scale, num_sources):
+    with telemetry.activate() as tel:
+        frontier = benchmark.pedantic(
+            _run, args=(scale, num_sources), rounds=1, iterations=1
+        )
+    mix_deg = frontier.mixing_degradation()
+    retention = frontier.utility_retention()
+    rows = [
+        [
+            p.t,
+            p.num_edges,
+            f"{1.0 - p.edge_overlap:.3f}",
+            f"{p.slem:.4f}",
+            f"{mix_deg[i]:.4f}",
+            f"{retention['expansion'][i]:.3f}",
+            f"{retention['degeneracy'][i]:.3f}",
+            f"{p.mean_defense_auc:.4f}",
+        ]
+        for i, p in enumerate(frontier.points)
+    ]
+    table = format_table(
+        [
+            "t",
+            "edges",
+            "privacy",
+            "slem",
+            "mix-deg",
+            "alpha ret",
+            "core ret",
+            "mean AUC",
+        ],
+        rows,
+        title=(
+            f"Extension — privacy-utility frontier "
+            f"({DATASET}, scale={min(scale, 0.2)}, ten defenses)"
+        ),
+    )
+    degradation = frontier.auc_degradation()
+    drops = format_table(
+        ["defense"] + [f"t={t}" for t in TS],
+        [
+            [name] + [f"{d:+.4f}" for d in degradation[name]]
+            for name in sorted(degradation, key=lambda n: -degradation[n][-1])
+        ],
+        title="Per-defense AUC degradation (baseline - perturbed)",
+    )
+    publish(results_dir, "privacy_frontier", table + "\n\n" + drops)
+    metrics_path = publish_metrics(results_dir, "privacy_frontier_metrics", tel)
+    assert metrics_path.exists()
+
+    doc = tel.as_dict()
+    # the t=0 level alone re-walks every half-edge of the unperturbed graph
+    assert doc["counters"]["privacy.perturb.walks"] >= 2 * frontier.baseline.num_edges
+    assert doc["counters"]["privacy.frontier.points"] == len(TS)
+
+    assert frontier.baseline.edge_overlap == 1.0
+    # privacy rises overall; a small parity wobble is physical (even-t
+    # walks return to their origin more often, restoring more edges)
+    assert np.all(np.diff(frontier.privacy) >= -0.12)
+    assert frontier.privacy[-1] >= max(frontier.privacy) - 0.02
+    if _gate(scale):
+        # monotone physics: mixing degradation rises, defense AUC falls
+        assert np.all(np.diff(mix_deg) >= -0.01)
+        assert np.all(np.diff(frontier.mean_aucs) <= 0.02)
+        assert frontier.mean_aucs[-1] < frontier.mean_aucs[0] - 0.02
+        assert mix_deg[-1] > 0.05

@@ -32,6 +32,7 @@ Subpackages
 ``repro.store``      content-addressed measurement artifact cache
 ``repro.pipeline``   declarative stage-DAG experiment runner
 ``repro.telemetry``  span/counter/gauge instrumentation registry
+``repro.privacy``    link-privacy perturbation + privacy-utility frontier
 """
 
 from repro.analysis import (
@@ -51,6 +52,7 @@ from repro.graph import Graph, GraphBuilder
 from repro.markov import TransitionOperator, random_walk, total_variation_distance
 from repro.mixing import sampled_mixing_profile, sampled_mixing_time, slem
 from repro.pipeline import Pipeline, Stage, paper_measurement_pipeline
+from repro.privacy import perturb_links, privacy_utility_frontier
 from repro.store import ArtifactStore, graph_digest
 from repro.sybil import (
     GateKeeper,
@@ -88,6 +90,8 @@ __all__ = [
     "Pipeline",
     "Stage",
     "paper_measurement_pipeline",
+    "perturb_links",
+    "privacy_utility_frontier",
     "GateKeeper",
     "SybilGuard",
     "SybilLimit",

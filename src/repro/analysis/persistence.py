@@ -80,6 +80,8 @@ _REGISTRY: dict[str, type] = {}
 _LAZY_TYPES = {
     "DatasetSummary": "repro.analysis.experiments",
     "SnapshotMetrics": "repro.dynamics.tracking",
+    "PrivacyPoint": "repro.privacy.frontier",
+    "PrivacyFrontier": "repro.privacy.frontier",
 }
 
 

@@ -19,6 +19,11 @@ Commands
     Run every registered Sybil defense (structure-only and fusion) on
     one attack scenario and print the midrank-AUC comparison table —
     the fusion-vs-structure ablation, memoized like the pipeline.
+``privacy sweep --target T [--ts 0,1,2,5,10]``
+    Sweep the Mittal et al. link-privacy perturbation level t over the
+    standard attack scenario and print the privacy-utility frontier:
+    per-t structure metrics, utility-retention curves, and per-defense
+    AUC degradation, with a monotonicity verdict.
 
 ``audit``, ``report`` and ``reproduce`` accept the same ``--cache-dir``
 flag, sharing warm artifacts with the pipeline.
@@ -378,6 +383,92 @@ def _cmd_sybil(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_privacy(args: argparse.Namespace) -> int:
+    from repro.privacy import privacy_frontier_pipeline
+
+    try:
+        ts = tuple(int(part) for part in args.ts.split(","))
+    except ValueError:
+        raise SystemExit(f"--ts must be a comma-separated int list, got {args.ts!r}")
+    pipeline = privacy_frontier_pipeline(
+        args.target,
+        scale=args.scale,
+        seed=args.seed,
+        ts=ts,
+        num_attack_edges=args.attack_edges,
+        topology=args.topology,
+        suspect_sample=args.suspect_sample,
+        num_sources=args.sources,
+        store=_store_from(args),
+        workers=args.workers,
+    )
+    result = pipeline.run()
+    frontier = result.results["frontier"]
+    mix_deg = frontier.mixing_degradation()
+    rows = [
+        [
+            p.t,
+            p.num_edges,
+            f"{1.0 - p.edge_overlap:.3f}",
+            f"{p.lcc_fraction:.3f}",
+            f"{p.slem:.4f}",
+            p.mixing_time if p.mixing_time is not None else "-",
+            f"{mix_deg[i]:.4f}",
+            f"{p.mean_defense_auc:.4f}",
+        ]
+        for i, p in enumerate(frontier.points)
+    ]
+    print(
+        format_table(
+            ["t", "edges", "privacy", "lcc", "slem", "T(1/n)", "mix-deg", "mean AUC"],
+            rows,
+            title=f"Privacy-utility frontier ({frontier.target}, "
+            f"{frontier.topology} region)",
+        )
+    )
+    retention = frontier.utility_retention()
+    metrics = list(retention)
+    print(
+        format_table(
+            ["t"] + metrics,
+            [
+                [p.t] + [f"{retention[m][i]:.3f}" for m in metrics]
+                for i, p in enumerate(frontier.points)
+            ],
+            title="Utility retention (vs the first level)",
+        )
+    )
+    degradation = frontier.auc_degradation()
+    print(
+        format_table(
+            ["defense"] + [f"t={p.t}" for p in frontier.points],
+            [
+                [name] + [f"{drop:+.4f}" for drop in drops]
+                for name, drops in sorted(
+                    degradation.items(), key=lambda kv: -kv[1][-1]
+                )
+            ],
+            title="Defense AUC degradation (baseline AUC - perturbed AUC)",
+        )
+    )
+    tol = 0.02
+    aucs = frontier.mean_aucs
+    mixing_rises = bool(np.all(np.diff(mix_deg) >= -tol))
+    auc_falls = bool(np.all(np.diff(aucs) <= tol))
+    if mixing_rises and auc_falls:
+        print(
+            "verdict: utility degrades monotonically with t "
+            "(mixing degradation rises, mean defense AUC falls)"
+        )
+    else:
+        print(
+            "verdict: non-monotone frontier "
+            f"(mixing degradation rises: {mixing_rises}, "
+            f"mean AUC falls: {auc_falls})"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -481,6 +572,42 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--suspect-sample", type=int, default=120)
     compare.add_argument("--workers", type=int)
     compare.add_argument("--cache-dir", help=cache_help)
+    privacy = sub.add_parser(
+        "privacy",
+        help="link-privacy perturbation vs defense-utility frontier",
+    )
+    privacy_sub = privacy.add_subparsers(dest="privacy_command", required=True)
+    sweep = privacy_sub.add_parser(
+        "sweep",
+        help="sweep the perturbation level t and print the frontier tables",
+        parents=[metrics],
+    )
+    sweep.add_argument(
+        "--target", required=True, help="edge-list path or bundled dataset name"
+    )
+    sweep.add_argument(
+        "--ts",
+        default="0,1,2,5,10",
+        help="comma-separated perturbation levels, strictly increasing "
+        "(start at 0: the first level is the retention baseline)",
+    )
+    sweep.add_argument(
+        "--topology",
+        choices=["wild", "powerlaw"],
+        default="powerlaw",
+        help="Sybil-region shape of the attack scenario",
+    )
+    sweep.add_argument(
+        "--attack-edges",
+        type=int,
+        help="number of attack edges g (default: nodes/20, at least 5)",
+    )
+    sweep.add_argument("--scale", type=float, default=0.25)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--sources", type=int, default=50)
+    sweep.add_argument("--suspect-sample", type=int, default=120)
+    sweep.add_argument("--workers", type=int)
+    sweep.add_argument("--cache-dir", help=cache_help)
     args = parser.parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
@@ -489,6 +616,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "pipeline": _cmd_pipeline,
         "sybil": _cmd_sybil,
+        "privacy": _cmd_privacy,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace = getattr(args, "trace", False)

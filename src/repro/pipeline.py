@@ -60,6 +60,8 @@ __all__ = [
     "PAPER_STAGES",
     "fusion_comparison_pipeline",
     "FUSION_STAGES",
+    "target_digest",
+    "load_target",
 ]
 
 #: Stage names of the standard paper pipeline, in topological order.
@@ -360,11 +362,13 @@ class Pipeline:
         )
 
 
-def _target_digest(target: str, scale: float, seed: int) -> str:
-    """Content digest identifying the load stage's input.
+def target_digest(target: str, scale: float, seed: int) -> str:
+    """Content digest identifying a load stage's input.
 
     Bundled analogs are fingerprinted by their registry spec; edge-list
     files by their bytes, so editing the file invalidates the cache.
+    Shared by every pipeline builder (paper, fusion, privacy frontier)
+    so equal targets hit the same cached load stage.
     """
     if target in available_datasets():
         return dataset_fingerprint(target, scale=scale, seed=seed)
@@ -378,7 +382,12 @@ def _target_digest(target: str, scale: float, seed: int) -> str:
     return digest.hexdigest()
 
 
-def _load_target(target: str, scale: float, seed: int) -> Graph:
+def load_target(target: str, scale: float, seed: int) -> Graph:
+    """Load a pipeline subject: a bundled analog or an edge-list file.
+
+    Edge-list files are reduced to their largest connected component,
+    matching the paper's preprocessing.
+    """
     if target in available_datasets():
         return load_dataset(target, scale=scale, seed=seed)
     raw = read_edge_list(Path(target))
@@ -431,10 +440,10 @@ def paper_measurement_pipeline(
     ``repro reproduce --cache-dir`` share warm artifacts.
     """
     lengths = list(walk_lengths or [1, 2, 3, 5, 7, 10, 15, 20, 30, 40, 50])
-    load_digest = _target_digest(target, scale, seed)
+    load_digest = target_digest(target, scale, seed)
 
     def load(_: dict[str, Any]) -> Graph:
-        return _load_target(target, scale, seed)
+        return load_target(target, scale, seed)
 
     def mixing(deps: dict[str, Any]):
         return sampled_mixing_profile(
@@ -542,10 +551,10 @@ def fusion_comparison_pipeline(
     per-defense midrank AUC table with the headline verdict: does each
     fusion defense beat every structure-only AUC?
     """
-    load_digest = _target_digest(target, scale, seed)
+    load_digest = target_digest(target, scale, seed)
 
     def load(_: dict[str, Any]) -> Graph:
-        return _load_target(target, scale, seed)
+        return load_target(target, scale, seed)
 
     def attack(deps: dict[str, Any]):
         graph: Graph = deps["load"]

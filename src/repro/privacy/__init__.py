@@ -1,0 +1,27 @@
+"""Link privacy vs. utility: perturb the graph, watch the signal fade.
+
+:mod:`repro.privacy.perturb` implements the Mittal et al. (arXiv
+1208.6189) t-step random-walk edge rewiring as a deterministic,
+chunk-stable transform of the immutable CSR graph;
+:mod:`repro.privacy.frontier` sweeps the perturbation level and
+measures the privacy-utility frontier — mixing degradation, structural
+retention, and the ROC AUC of every registered Sybil defense — as a
+memoizable pipeline.
+"""
+
+from repro.privacy.frontier import (
+    PrivacyFrontier,
+    PrivacyPoint,
+    privacy_frontier_pipeline,
+    privacy_utility_frontier,
+)
+from repro.privacy.perturb import edge_overlap, perturb_links
+
+__all__ = [
+    "perturb_links",
+    "edge_overlap",
+    "PrivacyPoint",
+    "PrivacyFrontier",
+    "privacy_utility_frontier",
+    "privacy_frontier_pipeline",
+]

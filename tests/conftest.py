@@ -92,6 +92,14 @@ def topology_attack(sybil_topology):
     return standard_attack(honest, 8, seed=2, topology=sybil_topology)
 
 
+@pytest.fixture(params=[0, 1, 4], scope="session")
+def perturbation_level(request) -> int:
+    """Representative Mittal et al. rewiring depths ``t``: the identity
+    transform, a one-step nudge, and a deep multi-step rewiring.
+    Parametrizing here runs every consuming privacy test at all three."""
+    return request.param
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)

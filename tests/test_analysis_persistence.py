@@ -48,6 +48,7 @@ def _instances():
         SybilFrameResult,
         SybilFuseResult,
     )
+    from repro.privacy.frontier import PrivacyFrontier, PrivacyPoint
     from repro.sybil.gatekeeper import GateKeeperConfig, GateKeeperResult
     from repro.sybil.sumup import SumUpResult
     from repro.sybil.sybilinfer import SybilInferResult
@@ -186,19 +187,62 @@ def _instances():
             max_cores=2,
             mean_small_set_expansion=1.8,
         ),
+        _privacy_point(),
+        PrivacyFrontier(
+            target="wiki_vote",
+            topology="powerlaw",
+            ts=np.array([0]),
+            walk_lengths=np.array([1, 5]),
+            points=[_privacy_point()],
+        ),
     ]
+
+
+def _privacy_point():
+    from repro.privacy.frontier import PrivacyPoint
+
+    return PrivacyPoint(
+        t=2,
+        num_edges=40,
+        edge_overlap=0.6,
+        lcc_fraction=1.0,
+        slem=0.85,
+        mixing_tvd=np.array([0.4, 0.1]),
+        mixing_time=None,
+        degeneracy=3,
+        max_cores=1,
+        mean_small_set_expansion=2.1,
+        defense_auc={"sybilrank": 0.8},
+        outcomes=[
+            DefenseOutcome(
+                dataset="wiki_vote",
+                defense="sybilrank",
+                parameter=0.0,
+                honest_acceptance=0.9,
+                sybils_per_attack_edge=1.0,
+                num_controllers=1,
+            )
+        ],
+    )
 
 
 def _fields_equal(a, b):
     for field in dataclasses.fields(a):
-        x, y = getattr(a, field.name), getattr(b, field.name)
-        if isinstance(x, np.ndarray):
-            assert np.array_equal(x, y), field.name
-            assert x.dtype == y.dtype, field.name
-        elif dataclasses.is_dataclass(x):
-            _fields_equal(x, y)
-        else:
-            assert x == y, field.name
+        _values_equal(getattr(a, field.name), getattr(b, field.name), field.name)
+
+
+def _values_equal(x, y, name):
+    if isinstance(x, np.ndarray):
+        assert np.array_equal(x, y), name
+        assert x.dtype == y.dtype, name
+    elif dataclasses.is_dataclass(x):
+        _fields_equal(x, y)
+    elif isinstance(x, (list, tuple)):
+        assert len(x) == len(y), name
+        for xi, yi in zip(x, y):
+            _values_equal(xi, yi, name)
+    else:
+        assert x == y, name
 
 
 class TestRegisteredResultTypes:

@@ -235,3 +235,37 @@ class TestCacheDir:
         cold = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == cold
+
+
+class TestPrivacySweep:
+    ARGS = [
+        "privacy", "sweep", "--target", "wiki_vote", "--scale", "0.08",
+        "--ts", "0,2", "--sources", "8", "--suspect-sample", "30",
+    ]
+
+    def test_sweep_prints_frontier_tables(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Privacy-utility frontier" in out
+        assert "Utility retention" in out
+        assert "Defense AUC degradation" in out
+        assert "verdict:" in out
+
+    def test_sweep_metrics_out(self, tmp_path, capsys):
+        target = tmp_path / "privacy.json"
+        assert main([*self.ARGS, "--metrics-out", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["counters"]["privacy.perturb.walks"] >= 1
+        assert doc["counters"]["privacy.frontier.points"] == 2
+        assert any("privacy.perturb" in path for path in doc["spans"])
+
+    def test_bad_ts_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["privacy", "sweep", "--target", "wiki_vote", "--ts", "x"])
+
+    def test_cache_dir_warms(self, tmp_path, capsys):
+        argv = [*self.ARGS, "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == cold

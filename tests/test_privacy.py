@@ -1,0 +1,258 @@
+"""Metamorphic/differential tests for the link-privacy layer.
+
+The perturbation engine's contract has three legs, each pinned here:
+structural invariants that must hold on *arbitrary* graphs (Hypothesis
+over all ≤10-node graphs), bit-identity of the batched transform across
+the chunk × worker grid and against the per-edge sequential oracle, and
+the frontier's monotone physics — more perturbation can only lose
+defense signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import telemetry
+from repro.errors import GraphError
+from repro.generators import barabasi_albert, cycle_graph, star_graph
+from repro.graph import Graph
+from repro.privacy import (
+    PrivacyFrontier,
+    PrivacyPoint,
+    edge_overlap,
+    perturb_links,
+    privacy_frontier_pipeline,
+    privacy_utility_frontier,
+)
+
+GRID = [
+    {"chunk_size": 1, "workers": 1},
+    {"chunk_size": 1, "workers": 4},
+    {"chunk_size": 7, "workers": 1},
+    {"chunk_size": 7, "workers": 4},
+    {"chunk_size": None, "workers": 1},
+    {"chunk_size": None, "workers": 4},
+]
+
+small_graphs = st.builds(
+    lambda edges: Graph.from_edges(edges, num_nodes=10),
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        min_size=0,
+        max_size=20,
+    ),
+)
+
+
+def assert_simple_undirected(graph: Graph) -> None:
+    """The CSR is symmetric, self-loop free and duplicate free."""
+    edges = graph.edge_array()
+    assert np.all(edges[:, 0] < edges[:, 1])
+    assert len({tuple(e) for e in edges.tolist()}) == edges.shape[0]
+    for u, v in edges.tolist():
+        assert graph.has_edge(u, v)
+        assert graph.has_edge(v, u)
+    assert graph.degrees.sum() == graph.indices.size == 2 * graph.num_edges
+
+
+class TestPerturbInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=small_graphs, t=st.integers(0, 8), seed=st.integers(0, 2**20))
+    def test_output_is_simple_undirected_on_same_node_set(
+        self, graph, t, seed
+    ):
+        perturbed = perturb_links(graph, t, seed=seed)
+        assert perturbed.num_nodes == graph.num_nodes
+        assert_simple_undirected(perturbed)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs, seed=st.integers(0, 2**20))
+    def test_t0_is_identity(self, graph, seed):
+        assert perturb_links(graph, 0, seed=seed) == graph
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs, t=st.integers(0, 8), seed=st.integers(0, 2**20))
+    def test_fixed_seed_is_deterministic(self, graph, t, seed):
+        assert perturb_links(graph, t, seed=seed) == perturb_links(
+            graph, t, seed=seed
+        )
+
+    def test_perturbed_endpoints_stay_in_components(self):
+        """Walks cannot leave their component, so a perturbed edge never
+        bridges the two cycles."""
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        edges += [(5 + i, 5 + (i + 1) % 5) for i in range(5)]
+        graph = Graph.from_edges(edges, num_nodes=10)
+        perturbed = perturb_links(graph, 6, seed=3)
+        for u, v in perturbed.edge_array().tolist():
+            assert (u < 5) == (v < 5)
+
+    def test_negative_t_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            perturb_links(triangle, -1)
+
+    def test_levels_fixture_preserves_node_set(
+        self, square_with_tail, perturbation_level
+    ):
+        perturbed = perturb_links(square_with_tail, perturbation_level, seed=9)
+        assert perturbed.num_nodes == square_with_tail.num_nodes
+        assert_simple_undirected(perturbed)
+
+
+class TestChunkWorkerDeterminism:
+    """The transform is bit-identical however the walks are fanned out."""
+
+    @pytest.mark.parametrize("t", [1, 3, 10])
+    def test_grid_identical(self, ba_small, t):
+        reference = perturb_links(ba_small, t, seed=5)
+        for knobs in GRID:
+            assert perturb_links(ba_small, t, seed=5, **knobs) == reference
+
+    @pytest.mark.parametrize("t", [1, 3, 10])
+    def test_sequential_oracle_identical(self, ba_small, t):
+        batched = perturb_links(ba_small, t, seed=5)
+        sequential = perturb_links(ba_small, t, seed=5, strategy="sequential")
+        assert batched == sequential
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=small_graphs, t=st.integers(0, 6), seed=st.integers(0, 2**20))
+    def test_property_grid_and_oracle(self, graph, t, seed):
+        reference = perturb_links(graph, t, seed=seed)
+        assert reference == perturb_links(
+            graph, t, seed=seed, chunk_size=3, workers=2
+        )
+        assert reference == perturb_links(
+            graph, t, seed=seed, strategy="sequential"
+        )
+
+
+class TestEdgeOverlap:
+    def test_identity_overlap_is_one(self, ba_small):
+        assert edge_overlap(ba_small, ba_small) == 1.0
+
+    def test_disjoint_overlap_is_zero(self):
+        a = Graph.from_edges([(0, 1)], num_nodes=4)
+        b = Graph.from_edges([(2, 3)], num_nodes=4)
+        assert edge_overlap(a, b) == 0.0
+
+    def test_node_set_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            edge_overlap(cycle_graph(4), cycle_graph(5))
+
+    def test_overlap_falls_with_t(self, ba_small):
+        shallow = edge_overlap(ba_small, perturb_links(ba_small, 1, seed=0))
+        deep = edge_overlap(ba_small, perturb_links(ba_small, 10, seed=0))
+        assert deep < shallow < 1.0
+
+
+class TestTelemetryContract:
+    def test_perturb_counters_and_span(self, ba_small):
+        with telemetry.activate() as tel:
+            perturbed = perturb_links(ba_small, 4, seed=0)
+            doc = tel.as_dict()
+        half_edges = 2 * ba_small.num_edges
+        counters = doc["counters"]
+        assert counters["privacy.perturb.walks"] == half_edges
+        assert counters["privacy.perturb.steps"] == half_edges * 4
+        assert counters["privacy.perturb.kept_edges"] == perturbed.num_edges
+        assert (
+            counters["privacy.perturb.merged_duplicates"]
+            == half_edges - perturbed.num_edges
+        )
+        assert counters["privacy.perturb.self_loop_repairs"] >= 0
+        assert any("privacy.perturb" in path for path in doc["spans"])
+
+
+FAST_DEFENSES = ("sybilrank", "ranking", "gatekeeper", "sybilinfer")
+
+
+@pytest.fixture(scope="module")
+def smoke_frontier() -> PrivacyFrontier:
+    honest = barabasi_albert(150, 3, seed=2)
+    return privacy_utility_frontier(
+        honest,
+        ts=(0, 1, 10),
+        defenses=FAST_DEFENSES,
+        suspect_sample=60,
+        num_sources=15,
+        seed=2,
+        target="ba150",
+    )
+
+
+class TestFrontier:
+    def test_structure(self, smoke_frontier):
+        f = smoke_frontier
+        assert [p.t for p in f.points] == [0, 1, 10]
+        assert np.array_equal(f.ts, [0, 1, 10])
+        for point in f.points:
+            assert isinstance(point, PrivacyPoint)
+            assert set(point.defense_auc) == set(FAST_DEFENSES)
+            assert point.mixing_tvd.shape == f.walk_lengths.shape
+            assert len(point.outcomes) == len(FAST_DEFENSES)
+            assert 0.0 < point.lcc_fraction <= 1.0
+
+    def test_baseline_is_identity_measurement(self, smoke_frontier):
+        f = smoke_frontier
+        assert f.baseline.t == 0
+        assert f.baseline.edge_overlap == 1.0
+        assert f.privacy[0] == 0.0
+        assert f.mixing_degradation()[0] == 0.0
+        for curve in f.utility_retention().values():
+            assert curve[0] == pytest.approx(1.0)
+
+    def test_privacy_rises_with_t(self, smoke_frontier):
+        privacy = smoke_frontier.privacy
+        assert privacy[1] > 0.0
+        assert privacy[2] > privacy[1]
+
+    def test_mixing_degradation_rises(self, smoke_frontier):
+        degradation = smoke_frontier.mixing_degradation()
+        assert degradation[2] >= degradation[1] >= 0.0
+
+    def test_mean_defense_auc_degrades_monotonically(self, smoke_frontier):
+        """More perturbation can only lose defense signal: mean AUC at
+        t=10 sits at or below t=1 (small-sample noise tolerance)."""
+        aucs = smoke_frontier.mean_aucs
+        assert aucs[2] <= aucs[1] + 0.02
+        assert aucs[2] < aucs[0]
+
+    def test_auc_degradation_table(self, smoke_frontier):
+        degradation = smoke_frontier.auc_degradation()
+        assert set(degradation) == set(FAST_DEFENSES)
+        for drops in degradation.values():
+            assert drops[0] == 0.0
+
+    def test_ts_validation(self):
+        honest = barabasi_albert(30, 2, seed=0)
+        for bad in ((), (3, 1), (2, 2), (-1, 0)):
+            with pytest.raises(GraphError):
+                privacy_utility_frontier(honest, ts=bad)
+
+
+class TestFrontierPipeline:
+    def test_warm_rerun_recomputes_nothing(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        def build():
+            return privacy_frontier_pipeline(
+                "wiki_vote",
+                scale=0.08,
+                ts=(0, 2),
+                defenses=("sybilrank",),
+                suspect_sample=30,
+                num_sources=8,
+                store=ArtifactStore(tmp_path / "cache"),
+            )
+
+        cold = build().run()
+        warm = build().run()
+        assert cold.executed
+        assert not warm.executed
+        assert set(warm.cached) == set(cold.results)
+        assert cold.digest() == warm.digest()
+        frontier = warm.results["frontier"]
+        assert [p.t for p in frontier.points] == [0, 2]

@@ -32,6 +32,7 @@ PACKAGES = [
     "repro.store",
     "repro.pipeline",
     "repro.telemetry",
+    "repro.privacy",
 ]
 
 

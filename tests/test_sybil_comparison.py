@@ -157,3 +157,43 @@ class TestRocAuc:
             roc_auc(np.array([1.0, 2.0]), np.array([False, False]))
         with pytest.raises(SybilDefenseError):
             roc_auc(np.array([1.0]), np.array([True]))
+
+
+class TestPrivacyFrontierTopologies:
+    """The privacy-utility sweep holds under both Sybil-region shapes
+    and at every shared perturbation depth."""
+
+    def test_frontier_runs_on_each_topology(self, sybil_topology):
+        from repro.privacy import privacy_utility_frontier
+
+        honest = barabasi_albert(120, 3, seed=2)
+        frontier = privacy_utility_frontier(
+            honest,
+            ts=(0, 3),
+            topology=sybil_topology,
+            defenses=("sybilrank", "sumup"),
+            suspect_sample=40,
+            num_sources=10,
+            seed=2,
+            target="ba120",
+        )
+        assert frontier.topology == sybil_topology
+        assert frontier.baseline.edge_overlap == 1.0
+        assert frontier.privacy[1] > 0.0
+        assert frontier.mean_aucs[1] <= frontier.mean_aucs[0] + 0.02
+        for outcome in frontier.points[1].outcomes:
+            assert 0.0 <= outcome.honest_acceptance <= 1.0
+
+    def test_perturbed_attack_still_scores_every_level(
+        self, topology_attack, perturbation_level
+    ):
+        from repro.privacy import perturb_links
+        from repro.sybil.attack import SybilAttack
+
+        perturbed = SybilAttack(
+            perturb_links(topology_attack.graph, perturbation_level, seed=4),
+            topology_attack.num_honest,
+            topology_attack.attack_edges,
+        )
+        scores = defense_scores(perturbed, "sybilrank", suspect_sample=40, seed=4)
+        assert 0.0 <= scores.auc <= 1.0
