@@ -82,6 +82,11 @@ _LAZY_TYPES = {
     "SnapshotMetrics": "repro.dynamics.tracking",
     "PrivacyPoint": "repro.privacy.frontier",
     "PrivacyFrontier": "repro.privacy.frontier",
+    "GraphDelta": "repro.dynamics.evolution",
+    "CompactionStats": "repro.serve.service",
+    "ServiceStats": "repro.serve.service",
+    "LatencySummary": "repro.serve.loadgen",
+    "LoadReport": "repro.serve.loadgen",
 }
 
 

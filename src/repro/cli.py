@@ -24,6 +24,13 @@ Commands
     standard attack scenario and print the privacy-utility frontier:
     per-t structure metrics, utility-retention curves, and per-defense
     AUC degradation, with a monotonicity verdict.
+``serve --target T [--burst N]``
+    Stand up the online admission service (:mod:`repro.serve`) on the
+    standard attack scenario: SybilRank / GateKeeper / escape queries
+    over a snapshot + overlay, compacted per policy.  Without
+    ``--burst`` the JSON API serves until interrupted; with ``--burst
+    N`` the closed-loop load generator fires N mixed read/write
+    requests over HTTP and prints the p50/p99 latency table.
 
 ``audit``, ``report`` and ``reproduce`` accept the same ``--cache-dir``
 flag, sharing warm artifacts with the pipeline.
@@ -469,6 +476,68 @@ def _cmd_privacy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        AdmissionService,
+        CompactionPolicy,
+        HttpClient,
+        LoadConfig,
+        ServiceConfig,
+        create_server,
+        run_load,
+    )
+    from repro.sybil import standard_attack
+
+    honest = _load_target(args.target, args.scale)
+    num_attack_edges = args.attack_edges or max(5, honest.num_nodes // 20)
+    attack = standard_attack(honest, num_attack_edges, seed=args.seed)
+    policy = CompactionPolicy(max_overlay_edges=args.compact_max_overlay)
+    service = AdmissionService(
+        attack.graph,
+        num_honest=attack.num_honest,
+        config=ServiceConfig(seed=args.seed),
+        policy=policy,
+        store=_store_from(args),
+    )
+    server = create_server(service, host=args.host, port=args.port)
+    print(
+        f"serving {args.target} ({attack.num_honest} honest + "
+        f"{attack.num_sybil} sybil nodes, {attack.num_attack_edges} attack "
+        f"edges) at {server.url}"
+    )
+    if args.burst:
+        server.serve_in_background()
+        report = run_load(
+            HttpClient(server.url),
+            LoadConfig(
+                num_clients=args.clients,
+                num_requests=args.burst,
+                write_fraction=args.write_fraction,
+                seed=args.seed,
+            ),
+            target=args.target,
+            service=service,
+        )
+        server.shutdown()
+        print(report.format_table())
+        final = service.stats()
+        print(
+            f"final state: {final.num_nodes} nodes, {final.num_edges} edges, "
+            f"snapshot v{final.snapshot_version}, "
+            f"{final.compactions} compactions, "
+            f"{final.cache_hits}/{final.cache_hits + final.cache_misses} "
+            "warm-cache hits"
+        )
+        return 1 if report.errors else 0
+    print("press Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -608,6 +677,47 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--suspect-sample", type=int, default=120)
     sweep.add_argument("--workers", type=int)
     sweep.add_argument("--cache-dir", help=cache_help)
+    serve = sub.add_parser(
+        "serve",
+        help="online admission service over a snapshot + overlay",
+        parents=[metrics],
+    )
+    serve.add_argument(
+        "--target", required=True, help="edge-list path or bundled dataset name"
+    )
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--attack-edges",
+        type=int,
+        help="number of attack edges g (default: nodes/20, at least 5)",
+    )
+    serve.add_argument(
+        "--compact-max-overlay",
+        type=int,
+        default=1024,
+        help="compaction policy: fold the overlay at this many delta edges",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        help="run a closed-loop HTTP load burst of this many requests "
+        "and exit (default: serve until interrupted)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="load-burst worker threads"
+    )
+    serve.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.2,
+        help="load-burst fraction of write requests",
+    )
+    serve.add_argument("--cache-dir", help=cache_help)
     args = parser.parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
@@ -617,6 +727,7 @@ def main(argv: list[str] | None = None) -> int:
         "pipeline": _cmd_pipeline,
         "sybil": _cmd_sybil,
         "privacy": _cmd_privacy,
+        "serve": _cmd_serve,
     }
     metrics_out = getattr(args, "metrics_out", None)
     trace = getattr(args, "trace", False)

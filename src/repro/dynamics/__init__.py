@@ -1,12 +1,22 @@
-"""Dynamic social graphs: evolution models and property tracking
-(the paper's Section-VI open problem)."""
+"""Dynamic social graphs: evolution models, event streams and property
+tracking (the paper's Section-VI open problem)."""
 
-from repro.dynamics.evolution import ChurnModel, GrowthModel, snapshots
+from repro.dynamics.evolution import (
+    ChurnModel,
+    GraphDelta,
+    GrowthModel,
+    apply_delta,
+    event_stream,
+    snapshots,
+)
 from repro.dynamics.tracking import SnapshotMetrics, track_evolution
 
 __all__ = [
     "ChurnModel",
+    "GraphDelta",
     "GrowthModel",
+    "apply_delta",
+    "event_stream",
     "snapshots",
     "SnapshotMetrics",
     "track_evolution",

@@ -55,6 +55,10 @@ class SybilDefenseError(ReproError):
     """Raised for invalid Sybil-defense configurations or inputs."""
 
 
+class ServeError(ReproError):
+    """Raised for invalid admission-service requests or configuration."""
+
+
 class StoreError(ReproError):
     """Raised for invalid artifact-store keys, params or configuration."""
 

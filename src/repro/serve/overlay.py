@@ -1,0 +1,360 @@
+"""Incremental graph overlays over immutable CSR snapshots.
+
+The serving plane's graph core: a :class:`GraphOverlay` records node
+and edge arrivals (and edge removals) as a *delta* on top of a frozen
+:class:`repro.graph.Graph` snapshot.  Reads merge the snapshot with the
+delta at query time in O(delta) python work per node (the CSR arrays
+are never copied), so a long-lived service can absorb a write stream
+without rebuilding its graph, and a :class:`CompactionPolicy` decides
+when the accumulated delta is folded into a fresh CSR snapshot via
+:meth:`GraphOverlay.materialize`.
+
+Overlay semantics
+-----------------
+* The logical node set is ``0 .. num_nodes - 1``; :meth:`add_nodes`
+  appends ids densely after the snapshot's range.
+* An edge is *present* when it is in the snapshot and not in the
+  removed set, or in the added set.  The two sets are kept disjoint
+  from the snapshot's edge set: re-adding a removed snapshot edge
+  un-removes it, and removing an overlay-added edge simply forgets it.
+* ``materialize()`` is pinned bit-identical to building a from-scratch
+  CSR of the same logical edge set — the overlay is an encoding, never
+  an approximation (tests/test_serve.py drives random event streams
+  across compaction boundaries to hold this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, NodeNotFoundError, ServeError
+from repro.graph.core import Graph
+
+__all__ = ["GraphOverlay", "CompactionPolicy"]
+
+
+class GraphOverlay:
+    """A mutable delta layer over an immutable CSR snapshot.
+
+    Parameters
+    ----------
+    base:
+        The frozen snapshot the delta applies to.
+
+    Reads (:meth:`degree`, :meth:`neighbors`, :meth:`has_edge`,
+    :attr:`degrees`) reflect the merged logical graph.  Instances are
+    *not* thread-safe; the serving layer guards them with its own lock.
+    """
+
+    __slots__ = (
+        "_base",
+        "_num_nodes",
+        "_added",
+        "_removed",
+        "_adj_add",
+        "_adj_del",
+        "_deg_delta",
+        "_degrees_cache",
+        "_csr_cache",
+    )
+
+    def __init__(self, base: Graph) -> None:
+        self._base = base
+        self._num_nodes = base.num_nodes
+        self._added: set[tuple[int, int]] = set()
+        self._removed: set[tuple[int, int]] = set()
+        self._adj_add: dict[int, set[int]] = {}
+        self._adj_del: dict[int, set[int]] = {}
+        self._deg_delta: dict[int, int] = {}
+        self._degrees_cache: np.ndarray | None = None
+        self._csr_cache: Graph | None = None
+
+    # ------------------------------------------------------------------
+    # delta accounting
+    # ------------------------------------------------------------------
+    @property
+    def base(self) -> Graph:
+        """The underlying frozen snapshot."""
+        return self._base
+
+    @property
+    def num_nodes(self) -> int:
+        """Logical node count (snapshot nodes + appended nodes)."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Logical edge count."""
+        return self._base.num_edges + len(self._added) - len(self._removed)
+
+    @property
+    def num_new_nodes(self) -> int:
+        """Nodes appended since the snapshot."""
+        return self._num_nodes - self._base.num_nodes
+
+    @property
+    def delta_edges(self) -> int:
+        """Size of the edge delta (additions + removals)."""
+        return len(self._added) + len(self._removed)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the overlay holds no delta at all."""
+        return (
+            not self._added
+            and not self._removed
+            and self._num_nodes == self._base.num_nodes
+        )
+
+    def added_edges(self) -> np.ndarray:
+        """The added canonical edges as a sorted ``(k, 2)`` array."""
+        if not self._added:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(self._added), dtype=np.int64)
+
+    def removed_edges(self) -> np.ndarray:
+        """The removed canonical edges as a sorted ``(k, 2)`` array."""
+        if not self._removed:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array(sorted(self._removed), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # merged reads
+    # ------------------------------------------------------------------
+    def degree(self, node: int) -> int:
+        """Logical degree of ``node`` (snapshot degree + delta)."""
+        self._check_node(node)
+        base = (
+            self._base.degree(node) if node < self._base.num_nodes else 0
+        )
+        return base + self._deg_delta.get(int(node), 0)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Logical degree array of length :attr:`num_nodes` (read-only)."""
+        if self._degrees_cache is None:
+            out = np.zeros(self._num_nodes, dtype=np.int64)
+            base_n = self._base.num_nodes
+            out[:base_n] = self._base.degrees
+            for node, delta in self._deg_delta.items():
+                out[node] += delta
+            out.setflags(write=False)
+            self._degrees_cache = out
+        return self._degrees_cache
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted logical neighbor array of ``node``."""
+        self._check_node(node)
+        node = int(node)
+        base = (
+            self._base.neighbors(node)
+            if node < self._base.num_nodes
+            else np.empty(0, dtype=np.int64)
+        )
+        dels = self._adj_del.get(node)
+        adds = self._adj_add.get(node)
+        if not dels and not adds:
+            return base
+        out = base
+        if dels:
+            out = np.setdiff1d(
+                out, np.fromiter(dels, dtype=np.int64), assume_unique=True
+            )
+        if adds:
+            out = np.union1d(out, np.fromiter(adds, dtype=np.int64))
+        return out
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the logical edge ``{u, v}`` is present."""
+        self._check_node(u)
+        self._check_node(v)
+        key = self._canonical(u, v)
+        if key in self._added:
+            return True
+        if key in self._removed:
+            return False
+        base_n = self._base.num_nodes
+        return key[1] < base_n and self._base.has_edge(*key)
+
+    def nodes(self) -> np.ndarray:
+        """The logical node-id array ``[0, ..., num_nodes - 1]``."""
+        return np.arange(self._num_nodes, dtype=np.int64)
+
+    def edge_array(self) -> np.ndarray:
+        """The logical canonical edge set, sorted as a CSR build expects."""
+        edges = self._base.edge_array()
+        if self._removed:
+            removed = self.removed_edges()
+            keys = edges[:, 0] * self._num_nodes + edges[:, 1]
+            removed_keys = removed[:, 0] * self._num_nodes + removed[:, 1]
+            edges = edges[~np.isin(keys, removed_keys)]
+        if self._added:
+            edges = np.concatenate([edges, self.added_edges()])
+            order = np.lexsort((edges[:, 1], edges[:, 0]))
+            edges = edges[order]
+        return edges
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def add_nodes(self, count: int = 1) -> int:
+        """Append ``count`` isolated nodes; returns the first new id."""
+        if count < 1:
+            raise GraphError("count must be positive")
+        first = self._num_nodes
+        self._num_nodes += count
+        self._invalidate()
+        return first
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the edge ``{u, v}``; False when it was already present."""
+        self._check_node(u)
+        self._check_node(v)
+        if int(u) == int(v):
+            raise GraphError("self loops are not allowed")
+        key = self._canonical(u, v)
+        if self.has_edge(*key):
+            return False
+        if key in self._removed:
+            self._removed.discard(key)
+            self._adj_discard(self._adj_del, key)
+        else:
+            self._added.add(key)
+            self._adj_insert(self._adj_add, key)
+        self._bump_degrees(key, +1)
+        self._invalidate()
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove the edge ``{u, v}``; False when it was absent."""
+        self._check_node(u)
+        self._check_node(v)
+        key = self._canonical(u, v)
+        if not self.has_edge(*key):
+            return False
+        if key in self._added:
+            self._added.discard(key)
+            self._adj_discard(self._adj_add, key)
+        else:
+            self._removed.add(key)
+            self._adj_insert(self._adj_del, key)
+        self._bump_degrees(key, -1)
+        self._invalidate()
+        return True
+
+    def apply_delta(self, delta) -> int:
+        """Apply a :class:`repro.dynamics.GraphDelta`; returns changed count.
+
+        Removals apply before additions, matching
+        :func:`repro.dynamics.apply_delta` — a delta may re-create an
+        edge it removed.
+        """
+        changed = 0
+        if delta.num_new_nodes:
+            self.add_nodes(delta.num_new_nodes)
+            changed += delta.num_new_nodes
+        for u, v in delta.removed:
+            changed += bool(self.remove_edge(int(u), int(v)))
+        for u, v in delta.added:
+            changed += bool(self.add_edge(int(u), int(v)))
+        return changed
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def materialize(self) -> Graph:
+        """Fold the delta into a fresh CSR :class:`Graph`.
+
+        Bit-identical to ``Graph.from_edges`` over the logical edge set
+        with the logical node count — the compaction primitive.
+        """
+        return Graph.from_edges(self.edge_array(), num_nodes=self._num_nodes)
+
+    def csr(self) -> Graph:
+        """A CSR view of the logical graph, cached until the next write.
+
+        Returns the snapshot itself when the overlay is clean, so the
+        clean-path read costs nothing.
+        """
+        if self._csr_cache is None:
+            self._csr_cache = (
+                self._base if self.is_clean else self.materialize()
+            )
+        return self._csr_cache
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonical(u: int, v: int) -> tuple[int, int]:
+        u, v = int(u), int(v)
+        return (u, v) if u < v else (v, u)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= int(node) < self._num_nodes:
+            raise NodeNotFoundError(int(node), self._num_nodes)
+
+    @staticmethod
+    def _adj_insert(adj: dict[int, set[int]], key: tuple[int, int]) -> None:
+        u, v = key
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+
+    @staticmethod
+    def _adj_discard(adj: dict[int, set[int]], key: tuple[int, int]) -> None:
+        u, v = key
+        for a, b in ((u, v), (v, u)):
+            nbrs = adj.get(a)
+            if nbrs is not None:
+                nbrs.discard(b)
+                if not nbrs:
+                    del adj[a]
+
+    def _bump_degrees(self, key: tuple[int, int], delta: int) -> None:
+        for node in key:
+            new = self._deg_delta.get(node, 0) + delta
+            if new:
+                self._deg_delta[node] = new
+            else:
+                self._deg_delta.pop(node, None)
+
+    def _invalidate(self) -> None:
+        self._degrees_cache = None
+        self._csr_cache = None
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to fold an overlay into a fresh snapshot.
+
+    Compaction triggers when *any* bound is hit: the absolute edge-delta
+    cap, the delta-to-snapshot ratio, or the appended-node cap.  The
+    serving layer consults :meth:`should_compact` after every write.
+    """
+
+    max_overlay_edges: int = 1024
+    max_overlay_ratio: float = 0.05
+    max_new_nodes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_overlay_edges < 1:
+            raise ServeError("max_overlay_edges must be positive")
+        if self.max_overlay_ratio <= 0.0:
+            raise ServeError("max_overlay_ratio must be positive")
+        if self.max_new_nodes < 1:
+            raise ServeError("max_new_nodes must be positive")
+
+    def should_compact(self, overlay: GraphOverlay) -> bool:
+        """True when ``overlay``'s delta exceeds any configured bound."""
+        if overlay.is_clean:
+            return False
+        delta = overlay.delta_edges
+        if delta >= self.max_overlay_edges:
+            return True
+        if overlay.num_new_nodes >= self.max_new_nodes:
+            return True
+        return delta >= self.max_overlay_ratio * max(
+            overlay.base.num_edges, 1
+        )

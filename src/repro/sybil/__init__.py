@@ -28,6 +28,7 @@ from repro.sybil.fusion import (
 )
 from repro.sybil.escape import (
     EscapeMeasurement,
+    escape_profile,
     exact_escape_probability,
     measure_escape,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "SybilFuse",
     "SybilFuseResult",
     "EscapeMeasurement",
+    "escape_profile",
     "measure_escape",
     "exact_escape_probability",
     "TicketDistribution",

@@ -16,10 +16,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SybilDefenseError
+from repro.graph.core import Graph
 from repro.markov.walk_batch import NO_HIT, walk_first_hits
 from repro.sybil.attack import SybilAttack
 
-__all__ = ["EscapeMeasurement", "measure_escape", "exact_escape_probability"]
+__all__ = [
+    "EscapeMeasurement",
+    "escape_profile",
+    "measure_escape",
+    "exact_escape_probability",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,84 @@ class EscapeMeasurement:
         )
 
 
+def _escape_curve(
+    graph: Graph,
+    num_honest: int,
+    lengths: np.ndarray,
+    num_walks: int,
+    seed: int,
+    strategy: str,
+    chunk_size: int | None,
+    workers: int | None,
+) -> np.ndarray:
+    """The shared Monte-Carlo core: escape fraction per walk length."""
+    max_length = int(lengths[-1])
+    source_seed, walk_seed = np.random.SeedSequence(seed).spawn(2)
+    sources = np.random.default_rng(source_seed).integers(
+        num_honest, size=num_walks, dtype=np.int64
+    )
+    sybil_mask = np.zeros(graph.num_nodes, dtype=bool)
+    sybil_mask[num_honest:] = True
+    first_escape = walk_first_hits(
+        graph,
+        sources,
+        max_length,
+        sybil_mask,
+        seed=walk_seed,
+        chunk_size=chunk_size,
+        workers=workers,
+        strategy=strategy,
+    )
+    first_escape[first_escape == NO_HIT] = np.iinfo(np.int64).max
+    return np.array([(first_escape <= w).mean() for w in lengths], dtype=float)
+
+
+def _check_lengths(walk_lengths: list[int]) -> np.ndarray:
+    lengths = np.asarray(walk_lengths, dtype=np.int64)
+    if lengths.size == 0 or np.any(np.diff(lengths) <= 0) or lengths[0] < 1:
+        raise SybilDefenseError("walk_lengths must be strictly increasing, >= 1")
+    return lengths
+
+
+def escape_profile(
+    graph: Graph,
+    num_honest: int,
+    walk_lengths: list[int],
+    num_walks: int = 2000,
+    seed: int = 0,
+    strategy: str = "batched",
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> EscapeMeasurement:
+    """Escape measurement from a labeled graph, without a SybilAttack.
+
+    The snapshot-reuse variant the serving layer queries: honest nodes
+    are the id prefix ``0 .. num_honest - 1`` and everything else is
+    the Sybil region; the attack-cut and honest-edge counts are derived
+    from the edge labels.  For a graph assembled by
+    :func:`repro.sybil.inject_sybils` this is bit-identical to
+    :func:`measure_escape` on the corresponding attack.
+    """
+    lengths = _check_lengths(walk_lengths)
+    if num_walks < 1:
+        raise SybilDefenseError("num_walks must be positive")
+    if not 0 < num_honest <= graph.num_nodes:
+        raise SybilDefenseError("num_honest must be in 1..num_nodes")
+    escape = _escape_curve(
+        graph, num_honest, lengths, num_walks, seed, strategy, chunk_size, workers
+    )
+    edges = graph.edge_array()
+    sybil_side = edges >= num_honest
+    cut = int((sybil_side[:, 0] != sybil_side[:, 1]).sum())
+    sybil_internal = int((sybil_side[:, 0] & sybil_side[:, 1]).sum())
+    return EscapeMeasurement(
+        walk_lengths=lengths,
+        escape=escape,
+        num_attack_edges=cut,
+        honest_edges=graph.num_edges - cut - sybil_internal,
+    )
+
+
 def measure_escape(
     attack: SybilAttack,
     walk_lengths: list[int],
@@ -62,31 +146,18 @@ def measure_escape(
     is bit-identical across ``chunk_size``/``workers`` and between the
     ``"batched"`` and ``"sequential"`` strategies.
     """
-    lengths = np.asarray(walk_lengths, dtype=np.int64)
-    if lengths.size == 0 or np.any(np.diff(lengths) <= 0) or lengths[0] < 1:
-        raise SybilDefenseError("walk_lengths must be strictly increasing, >= 1")
+    lengths = _check_lengths(walk_lengths)
     if num_walks < 1:
         raise SybilDefenseError("num_walks must be positive")
-    max_length = int(lengths[-1])
-    source_seed, walk_seed = np.random.SeedSequence(seed).spawn(2)
-    sources = np.random.default_rng(source_seed).integers(
-        attack.num_honest, size=num_walks, dtype=np.int64
-    )
-    sybil_mask = np.zeros(attack.graph.num_nodes, dtype=bool)
-    sybil_mask[attack.num_honest :] = True
-    first_escape = walk_first_hits(
+    escape = _escape_curve(
         attack.graph,
-        sources,
-        max_length,
-        sybil_mask,
-        seed=walk_seed,
-        chunk_size=chunk_size,
-        workers=workers,
-        strategy=strategy,
-    )
-    first_escape[first_escape == NO_HIT] = np.iinfo(np.int64).max
-    escape = np.array(
-        [(first_escape <= w).mean() for w in lengths], dtype=float
+        attack.num_honest,
+        lengths,
+        num_walks,
+        seed,
+        strategy,
+        chunk_size,
+        workers,
     )
     honest_edges = (
         attack.graph.num_edges

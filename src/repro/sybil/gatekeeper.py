@@ -153,13 +153,16 @@ class GateKeeper:
         self._distribution_cache[distributor] = result
         return result
 
-    def _warm_distributions(self, distributors: np.ndarray) -> None:
+    def warm_distributors(self, distributors: np.ndarray | list[int]) -> None:
         """Run all missing distributors' BFS as one block.
 
         Walk endpoints repeat (and controllers share distributors), so
         only cache misses are batched; their plans come from one
         :func:`repro.sybil.ticket_plans` call and the adaptive doublings
-        then reuse each plan's scaffolding.
+        then reuse each plan's scaffolding.  Public so a long-lived
+        serving layer can pre-warm its per-snapshot ticket plans
+        (:mod:`repro.serve`) before queries arrive; :meth:`run` calls it
+        automatically.
         """
         missing = [
             d
@@ -177,7 +180,7 @@ class GateKeeper:
     def run(self, controller: int) -> GateKeeperResult:
         """Run the full admission protocol for one controller."""
         distributors = self.select_distributors(controller)
-        self._warm_distributions(distributors)
+        self.warm_distributors(distributors)
         reach_counts = np.zeros(self._graph.num_nodes, dtype=np.int64)
         for distributor in distributors:
             result = self._distribution(int(distributor))

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.errors import SybilDefenseError
 from repro.graph.core import Graph
-from repro.markov.transition import get_operator
+from repro.markov.transition import TransitionOperator, get_operator
 
 __all__ = ["SybilRankConfig", "SybilRankResult", "SybilRank"]
 
@@ -64,12 +64,23 @@ class SybilRankResult:
 class SybilRank:
     """Early-terminated trust propagation over a fixed graph."""
 
-    def __init__(self, graph: Graph, config: SybilRankConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        config: SybilRankConfig | None = None,
+        operator: TransitionOperator | None = None,
+    ) -> None:
         if graph.num_nodes < 3:
             raise SybilDefenseError("SybilRank needs at least 3 nodes")
         self._graph = graph
         self._config = config or SybilRankConfig()
-        self._operator = get_operator(graph)
+        if operator is not None and operator.graph != graph:
+            raise SybilDefenseError(
+                "the supplied operator was built for a different graph"
+            )
+        # the snapshot-reuse path: a warm serving layer passes its
+        # cached per-snapshot operator to skip the keyed-LRU lookup
+        self._operator = operator if operator is not None else get_operator(graph)
         self._iterations = self._config.num_iterations or max(
             1, int(np.ceil(np.log2(graph.num_nodes)))
         )

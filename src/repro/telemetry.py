@@ -21,6 +21,11 @@ Three instrument kinds:
   counters are exact under the thread fan-out the engines use.
 * **Gauges** — last-value (``tel.gauge``) or running-max
   (``tel.gauge_max``) observations, e.g. pipeline wave occupancy.
+* **Distributions** — per-observation samples (``tel.observe``) kept in
+  a bounded buffer and summarized (count/mean/p50/p95/p99/max) in the
+  metrics document, e.g. per-request serving latency in
+  :mod:`repro.serve`.  Summaries appear under an additive
+  ``distributions`` key, so the document schema stays at version 1.
 
 The module-level registry defaults to a **no-op** instance: every
 ``span``/``count``/``gauge`` call on a disabled :class:`Telemetry`
@@ -37,6 +42,7 @@ for diffing across runs and for the ``--metrics-out`` CLI flag.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from contextlib import contextmanager
@@ -46,6 +52,7 @@ from typing import Any, Iterator
 
 __all__ = [
     "SCHEMA_VERSION",
+    "DISTRIBUTION_CAPACITY",
     "SpanStats",
     "Telemetry",
     "NULL_TELEMETRY",
@@ -56,7 +63,17 @@ __all__ = [
 ]
 
 #: Version of the metrics-document schema emitted by :meth:`Telemetry.as_dict`.
+#: The ``distributions`` key is additive, so it did not bump the version.
 SCHEMA_VERSION = 1
+
+#: Samples kept per distribution; older observations are dropped beyond this.
+DISTRIBUTION_CAPACITY = 65536
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    rank = max(math.ceil(q / 100.0 * len(ordered)) - 1, 0)
+    return ordered[min(rank, len(ordered) - 1)]
 
 
 @dataclass
@@ -125,6 +142,7 @@ class Telemetry:
         self._spans: dict[str, SpanStats] = {}
         self._counters: dict[str, int | float] = {}
         self._gauges: dict[str, float] = {}
+        self._distributions: dict[str, list[float]] = {}
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -169,12 +187,28 @@ class Telemetry:
             if prev is None or value > prev:
                 self._gauges[name] = float(value)
 
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to distribution ``name``.
+
+        The buffer is bounded at :data:`DISTRIBUTION_CAPACITY` samples
+        per name (oldest dropped), so a long-lived server cannot grow
+        its registry without bound.
+        """
+        if not self._enabled:
+            return
+        with self._lock:
+            samples = self._distributions.setdefault(name, [])
+            samples.append(float(value))
+            if len(samples) > DISTRIBUTION_CAPACITY:
+                del samples[0]
+
     def reset(self) -> None:
-        """Drop every recorded span, counter and gauge."""
+        """Drop every recorded span, counter, gauge and distribution."""
         with self._lock:
             self._spans.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._distributions.clear()
 
     # ------------------------------------------------------------------
     # reading
@@ -205,6 +239,26 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def distribution(self, name: str) -> dict[str, float]:
+        """Summary of distribution ``name`` (empty dict when unobserved)."""
+        with self._lock:
+            samples = list(self._distributions.get(name, ()))
+        return self._summarize(samples)
+
+    @staticmethod
+    def _summarize(samples: list[float]) -> dict[str, float]:
+        if not samples:
+            return {}
+        ordered = sorted(samples)
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": _percentile(ordered, 50),
+            "p95": _percentile(ordered, 95),
+            "p99": _percentile(ordered, 99),
+            "max": ordered[-1],
+        }
+
     def as_dict(self) -> dict[str, Any]:
         """The metrics document as a plain dict (see :data:`SCHEMA_VERSION`).
 
@@ -226,6 +280,10 @@ class Telemetry:
                 },
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
+                "distributions": {
+                    name: self._summarize(samples)
+                    for name, samples in sorted(self._distributions.items())
+                },
             }
 
     def to_json(self) -> str:

@@ -48,7 +48,10 @@ def _instances():
         SybilFrameResult,
         SybilFuseResult,
     )
+    from repro.dynamics.evolution import GraphDelta
     from repro.privacy.frontier import PrivacyFrontier, PrivacyPoint
+    from repro.serve.loadgen import LatencySummary, LoadReport
+    from repro.serve.service import CompactionStats, ServiceStats
     from repro.sybil.gatekeeper import GateKeeperConfig, GateKeeperResult
     from repro.sybil.sumup import SumUpResult
     from repro.sybil.sybilinfer import SybilInferResult
@@ -195,7 +198,67 @@ def _instances():
             walk_lengths=np.array([1, 5]),
             points=[_privacy_point()],
         ),
+        GraphDelta(
+            num_new_nodes=2,
+            added=np.array([[0, 4], [1, 5]], dtype=np.int64),
+            removed=np.array([[0, 1]], dtype=np.int64),
+        ),
+        CompactionStats(
+            version=3,
+            pause_seconds=0.004,
+            folded_added=12,
+            folded_removed=2,
+            folded_new_nodes=1,
+            num_nodes=101,
+            num_edges=250,
+            digest="ab" * 32,
+        ),
+        ServiceStats(
+            snapshot_version=3,
+            snapshot_digest="ab" * 32,
+            num_nodes=101,
+            num_edges=252,
+            snapshot_nodes=101,
+            snapshot_edges=250,
+            overlay_edges=2,
+            overlay_new_nodes=0,
+            staleness=2,
+            queries=40,
+            writes=15,
+            compactions=3,
+            cache_hits=30,
+            cache_misses=10,
+        ),
+        _latency_summary(),
+        LoadReport(
+            target="wiki_vote",
+            transport="in-process",
+            num_clients=2,
+            total_requests=100,
+            errors=0,
+            duration_seconds=0.5,
+            qps=200.0,
+            p50_ms=1.5,
+            p99_ms=9.0,
+            summaries=[_latency_summary()],
+            compaction_pauses_ms=[3.5, 4.0],
+            compactions=2,
+        ),
     ]
+
+
+def _latency_summary():
+    from repro.serve.loadgen import LatencySummary
+
+    return LatencySummary(
+        op="rank",
+        count=60,
+        mean_ms=2.0,
+        p50_ms=1.5,
+        p95_ms=6.0,
+        p99_ms=9.0,
+        max_ms=11.0,
+    )
 
 
 def _privacy_point():

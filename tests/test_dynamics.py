@@ -7,8 +7,11 @@ import pytest
 
 from repro.dynamics import (
     ChurnModel,
+    GraphDelta,
     GrowthModel,
     SnapshotMetrics,
+    apply_delta,
+    event_stream,
     snapshots,
     track_evolution,
 )
@@ -16,6 +19,52 @@ from repro.errors import GraphError
 from repro.generators import barabasi_albert, community_social_graph
 from repro.graph import Graph
 from repro.mixing import slem
+
+
+def _legacy_churn_step(graph, churn_rate, seed, rng):
+    """The pre-event-stream ChurnModel.step (random mode), verbatim:
+    per-edge python loop over scalar RNG draws.  The vectorized model
+    is pinned bit-identical against this oracle."""
+    edges = graph.edge_array()
+    num_replace = max(1, int(churn_rate * edges.shape[0]))
+    drop_idx = rng.choice(edges.shape[0], size=num_replace, replace=False)
+    kept = np.delete(edges, drop_idx, axis=0)
+    existing = {(int(u), int(v)) for u, v in kept}
+    new_edges = []
+    attempts = 0
+    while len(new_edges) < num_replace and attempts < 50 * num_replace:
+        attempts += 1
+        u = int(rng.integers(graph.num_nodes))
+        v = int(rng.integers(graph.num_nodes))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in existing:
+            continue
+        existing.add(key)
+        new_edges.append(key)
+    combined = np.concatenate(
+        [kept, np.asarray(new_edges, dtype=np.int64).reshape(-1, 2)]
+    )
+    return Graph.from_edges(combined, num_nodes=graph.num_nodes)
+
+
+def _legacy_growth_step(graph, nodes_per_step, attachment, rng):
+    """The pre-event-stream GrowthModel.step, verbatim: rebuilds the
+    endpoint multiset as a python list every step."""
+    endpoints = [int(x) for x in graph.edge_array().ravel()]
+    edges = [tuple(e) for e in graph.edge_array()]
+    next_id = graph.num_nodes
+    for _ in range(nodes_per_step):
+        wanted = min(attachment, next_id)
+        targets = set()
+        while len(targets) < wanted:
+            targets.add(endpoints[int(rng.integers(len(endpoints)))])
+        for t in sorted(targets):
+            edges.append((t, next_id))
+            endpoints.extend([t, next_id])
+        next_id += 1
+    return Graph.from_edges(edges, num_nodes=next_id)
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +152,83 @@ class TestGrowthModel:
     def test_empty_base_rejected(self):
         with pytest.raises(GraphError):
             GrowthModel().step(Graph.empty(5))
+
+
+class TestEventStreamEquivalence:
+    """Pins for the event-stream rewrite of the evolution models."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_random_churn_bit_identical_to_legacy(self, base_graph, seed):
+        model = ChurnModel(churn_rate=0.08, rewiring="random", seed=seed)
+        legacy_rng = np.random.default_rng(seed)
+        new, old = base_graph, base_graph
+        for _ in range(4):
+            new = model.step(new)
+            old = _legacy_churn_step(old, 0.08, seed, legacy_rng)
+            assert new == old
+
+    @pytest.mark.parametrize("rewiring", ["random", "triadic"])
+    def test_batched_matches_sequential_oracle(self, base_graph, rewiring):
+        batched = ChurnModel(churn_rate=0.1, rewiring=rewiring, seed=5)
+        sequential = ChurnModel(
+            churn_rate=0.1, rewiring=rewiring, seed=5, strategy="sequential"
+        )
+        b, s = base_graph, base_graph
+        for _ in range(3):
+            b = batched.step(b)
+            s = sequential.step(s)
+            assert b == s
+
+    @pytest.mark.parametrize("seed", [2, 8])
+    def test_growth_bit_identical_to_legacy(self, seed):
+        base = barabasi_albert(150, 3, seed=seed)
+        model = GrowthModel(nodes_per_step=12, attachment=3, seed=seed)
+        legacy_rng = np.random.default_rng(seed)
+        new, old = base, base
+        for _ in range(3):
+            new = model.step(new)
+            old = _legacy_growth_step(old, 12, 3, legacy_rng)
+            assert new == old
+
+    def test_step_equals_events_plus_apply(self, base_graph):
+        stepped = ChurnModel(churn_rate=0.1, seed=6).step(base_graph)
+        delta = ChurnModel(churn_rate=0.1, seed=6).step_events(base_graph)
+        assert apply_delta(base_graph, delta) == stepped
+        grown = GrowthModel(nodes_per_step=7, seed=6).step(base_graph)
+        gdelta = GrowthModel(nodes_per_step=7, seed=6).step_events(base_graph)
+        assert apply_delta(base_graph, gdelta) == grown
+
+    def test_event_stream_replays_model_steps(self, base_graph):
+        deltas = list(
+            event_stream(base_graph, ChurnModel(churn_rate=0.1, seed=7), 3)
+        )
+        assert len(deltas) == 3
+        replayed = base_graph
+        for delta in deltas:
+            replayed = apply_delta(replayed, delta)
+        stepped = base_graph
+        model = ChurnModel(churn_rate=0.1, seed=7)
+        for _ in range(3):
+            stepped = model.step(stepped)
+        assert replayed == stepped
+
+    def test_delta_validation(self):
+        with pytest.raises(GraphError):
+            GraphDelta(
+                num_new_nodes=-1,
+                added=np.empty((0, 2), dtype=np.int64),
+                removed=np.empty((0, 2), dtype=np.int64),
+            )
+        with pytest.raises(GraphError):
+            GraphDelta(
+                num_new_nodes=0,
+                added=np.array([1, 2, 3], dtype=np.int64),
+                removed=np.empty((0, 2), dtype=np.int64),
+            )
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(GraphError):
+            ChurnModel(strategy="telepathic")
 
 
 class TestSnapshots:

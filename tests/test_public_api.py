@@ -33,6 +33,7 @@ PACKAGES = [
     "repro.pipeline",
     "repro.telemetry",
     "repro.privacy",
+    "repro.serve",
 ]
 
 
@@ -84,6 +85,7 @@ def test_errors_hierarchy():
         errors.DatasetError,
         errors.ConvergenceError,
         errors.SybilDefenseError,
+        errors.ServeError,
         errors.StoreError,
         errors.PipelineError,
     ]

@@ -1,0 +1,515 @@
+"""Tests for the online admission service (:mod:`repro.serve`).
+
+The acceptance pins live in :class:`TestOverlayBitIdentity`: every
+query served through snapshot + overlay must be bit-identical to
+recomputing against a from-scratch CSR of the same logical graph,
+across random event streams and compaction boundaries, and (for the
+Monte Carlo defense queries) across chunk-size/worker grids.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.dynamics import ChurnModel, GraphDelta, GrowthModel, event_stream
+from repro.errors import GraphError, ServeError
+from repro.graph import Graph
+from repro.serve import (
+    AdmissionService,
+    CompactionPolicy,
+    GraphOverlay,
+    HttpClient,
+    InProcessClient,
+    LoadConfig,
+    LoadReport,
+    ServiceConfig,
+    create_server,
+    run_load,
+)
+from repro.sybil import SybilRank, escape_profile, standard_attack
+from repro.sybil.harness import standard_attack as _standard_attack
+
+
+def _random_deltas(graph, num_deltas=6, seed=0):
+    """A mixed stream of edge adds/removes/node appends."""
+    rng = np.random.default_rng(seed)
+    current = graph
+    deltas = []
+    for step in range(num_deltas):
+        n = current.num_nodes
+        edges = current.edge_array()
+        removed = edges[
+            rng.choice(edges.shape[0], size=min(4, edges.shape[0]), replace=False)
+        ]
+        new_nodes = int(rng.integers(3)) if step % 2 else 0
+        pool = n + new_nodes
+        proposals = rng.integers(pool, size=(12, 2))
+        proposals = proposals[proposals[:, 0] != proposals[:, 1]]
+        lo = np.minimum(proposals[:, 0], proposals[:, 1])
+        hi = np.maximum(proposals[:, 0], proposals[:, 1])
+        added = np.unique(np.column_stack([lo, hi]), axis=0)
+        delta = GraphDelta(
+            num_new_nodes=new_nodes,
+            added=added.astype(np.int64),
+            removed=removed.astype(np.int64),
+        )
+        deltas.append(delta)
+        from repro.dynamics import apply_delta
+
+        current = apply_delta(current, delta)
+    return deltas
+
+
+class TestGraphOverlay:
+    def test_clean_overlay_mirrors_base(self, ba_small):
+        overlay = GraphOverlay(ba_small)
+        assert overlay.is_clean
+        assert overlay.num_nodes == ba_small.num_nodes
+        assert overlay.num_edges == ba_small.num_edges
+        assert np.array_equal(overlay.degrees, ba_small.degrees)
+        assert overlay.csr() is ba_small
+
+    def test_add_and_remove_edges(self, k5):
+        overlay = GraphOverlay(k5)
+        assert not overlay.add_edge(0, 1)  # already present
+        assert overlay.remove_edge(0, 1)
+        assert not overlay.has_edge(0, 1)
+        assert overlay.add_edge(1, 0)  # re-add un-removes
+        assert overlay.has_edge(0, 1)
+        assert overlay.is_clean
+        assert overlay.num_edges == k5.num_edges
+
+    def test_self_loop_rejected(self, k5):
+        overlay = GraphOverlay(k5)
+        with pytest.raises(GraphError):
+            overlay.add_edge(2, 2)
+
+    def test_new_nodes_and_degrees(self, k5):
+        overlay = GraphOverlay(k5)
+        first = overlay.add_nodes(2)
+        assert first == 5
+        assert overlay.num_nodes == 7
+        assert overlay.degree(first) == 0
+        overlay.add_edge(first, 0)
+        assert overlay.degree(first) == 1
+        assert overlay.degree(0) == 5
+        assert sorted(overlay.neighbors(first)) == [0]
+
+    def test_edge_array_matches_materialized(self, ba_small):
+        overlay = GraphOverlay(ba_small)
+        for delta in _random_deltas(ba_small, num_deltas=3, seed=3):
+            overlay.apply_delta(delta)
+        rebuilt = Graph.from_edges(
+            overlay.edge_array(), num_nodes=overlay.num_nodes
+        )
+        assert overlay.materialize() == rebuilt
+
+    def test_compaction_policy_bounds(self, k5):
+        policy = CompactionPolicy(
+            max_overlay_edges=2, max_overlay_ratio=1.0, max_new_nodes=1
+        )
+        overlay = GraphOverlay(k5)
+        assert not policy.should_compact(overlay)
+        overlay.remove_edge(0, 1)
+        assert not policy.should_compact(overlay)
+        overlay.remove_edge(0, 2)
+        assert policy.should_compact(overlay)
+        fresh = GraphOverlay(k5)
+        fresh.add_nodes(1)
+        assert policy.should_compact(fresh)
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            CompactionPolicy(max_overlay_edges=0)
+        with pytest.raises(ServeError):
+            CompactionPolicy(max_overlay_ratio=-0.1)
+
+
+class TestOverlayBitIdentity:
+    """The acceptance pins: overlay reads == from-scratch CSR."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_event_stream_matches_scratch_csr(self, ba_small, seed):
+        overlay = GraphOverlay(ba_small)
+        logical = ba_small
+        from repro.dynamics import apply_delta
+
+        for delta in _random_deltas(ba_small, num_deltas=6, seed=seed):
+            overlay.apply_delta(delta)
+            logical = apply_delta(logical, delta)
+            # structural reads, every node, bit-identical
+            assert overlay.num_nodes == logical.num_nodes
+            assert overlay.num_edges == logical.num_edges
+            assert np.array_equal(overlay.degrees, logical.degrees)
+            assert np.array_equal(overlay.edge_array(), logical.edge_array())
+            for node in range(0, logical.num_nodes, 17):
+                assert np.array_equal(
+                    overlay.neighbors(node), logical.neighbors(node)
+                )
+            assert overlay.materialize() == logical
+
+    def test_identity_across_compaction_boundaries(self, ba_small):
+        from repro.dynamics import apply_delta
+
+        service = AdmissionService(
+            ba_small,
+            policy=CompactionPolicy(max_overlay_edges=8),
+        )
+        logical = ba_small
+        for delta in _random_deltas(ba_small, num_deltas=6, seed=5):
+            service.apply_delta(delta)
+            logical = apply_delta(logical, delta)
+            stats = service.stats()
+            assert stats.num_nodes == logical.num_nodes
+            assert stats.num_edges == logical.num_edges
+            for node in range(0, logical.num_nodes, 23):
+                assert service.degree(node) == logical.degree(node)
+                assert np.array_equal(
+                    service.neighbors(node), logical.neighbors(node)
+                )
+        assert service.stats().compactions > 0
+        # after a forced fold the snapshot IS the logical graph
+        service.compact()
+        assert service.snapshot == logical
+
+    def test_churn_and_growth_streams_compact_to_logical_graph(self, ba_small):
+        for model in (
+            ChurnModel(churn_rate=0.04, seed=3),
+            GrowthModel(nodes_per_step=5, attachment=3, seed=3),
+        ):
+            service = AdmissionService(
+                ba_small, policy=CompactionPolicy(max_overlay_edges=20)
+            )
+            logical = ba_small
+            for delta in event_stream(ba_small, model, num_steps=4):
+                service.apply_delta(delta)
+                from repro.dynamics import apply_delta
+
+                logical = apply_delta(logical, delta)
+            service.compact()
+            assert service.snapshot == logical
+
+    @pytest.mark.parametrize(
+        "chunk_size,workers", [(None, None), (64, None), (64, 2)]
+    )
+    def test_post_compaction_queries_match_scratch(
+        self, tiny_wiki, chunk_size, workers
+    ):
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+        service = AdmissionService(
+            attack.graph,
+            num_honest=attack.num_honest,
+            config=ServiceConfig(escape_walks=300),
+        )
+        for delta in _random_deltas(attack.graph, num_deltas=3, seed=7):
+            service.apply_delta(delta)
+        service.compact()
+        scratch = Graph.from_edges(
+            service.snapshot.edge_array(), num_nodes=service.snapshot.num_nodes
+        )
+        # rank: identical to SybilRank on the from-scratch CSR
+        expected = (
+            SybilRank(scratch)
+            .run(np.asarray(service.trust_seeds, dtype=np.int64))
+            .normalized
+        )
+        assert np.array_equal(service.rank_scores(), expected)
+        # escape: identical across the chunk x worker grid
+        got = service.escape(
+            walk_lengths=(3, 9),
+            num_walks=300,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        reference = escape_profile(
+            scratch,
+            service.num_honest,
+            [3, 9],
+            num_walks=300,
+            seed=service.config.seed,
+        )
+        assert np.array_equal(got.escape, reference.escape)
+        assert got.num_attack_edges == reference.num_attack_edges
+
+
+class TestAdmissionService:
+    def test_clean_rank_matches_sybilrank(self, ba_small):
+        service = AdmissionService(ba_small)
+        expected = (
+            SybilRank(ba_small)
+            .run(np.asarray(service.trust_seeds, dtype=np.int64))
+            .normalized
+        )
+        assert np.array_equal(service.rank_scores(), expected)
+
+    def test_overlay_degree_correction(self, ba_small):
+        service = AdmissionService(ba_small)
+        before = service.rank(0)["score"]
+        added = 0
+        for v in range(1, ba_small.num_nodes):
+            if added == 6:
+                break
+            if service.add_edge(0, v):
+                added += 1
+        after = service.rank(0)["score"]
+        # same propagated trust, larger live degree => strictly smaller
+        assert after < before
+
+    def test_new_node_scores_zero_until_compaction(self, ba_small):
+        service = AdmissionService(ba_small, policy=CompactionPolicy(
+            max_overlay_edges=10_000, max_new_nodes=10_000,
+            max_overlay_ratio=1.0,
+        ))
+        node = service.add_nodes(1)
+        service.add_edge(node, 0)
+        verdict = service.rank(node)
+        assert verdict["score"] == 0.0
+        assert verdict["fresh"] is False
+        service.compact()
+        assert service.rank(node)["fresh"] is True
+        assert service.rank(node)["score"] > 0.0
+
+    def test_admission_round_trip(self, tiny_wiki):
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+        service = AdmissionService(attack.graph, num_honest=attack.num_honest)
+        verdict = service.admission(5, controller=0)
+        assert set(verdict) == {
+            "node", "controller", "admitted", "reach", "needed", "fresh",
+        }
+        # warm repeat must hit the per-snapshot cache
+        before = service.stats().cache_hits
+        service.admission(6, controller=0)
+        assert service.stats().cache_hits > before
+
+    def test_escape_requires_labels(self, ba_small):
+        service = AdmissionService(ba_small)
+        with pytest.raises(ServeError, match="num_honest"):
+            service.escape()
+
+    def test_compaction_resets_staleness_and_chains_digest(self, ba_small):
+        service = AdmissionService(ba_small)
+        digest0 = service.snapshot_digest
+        assert service.add_edge(0, ba_small.num_nodes - 1) or True
+        stats = service.compact()
+        assert stats is not None
+        assert stats.digest == service.snapshot_digest != digest0
+        assert service.stats().staleness == 0
+        assert service.compact() is None  # clean overlay: no-op
+
+    def test_store_memoization_survives_restart(self, ba_small, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "cache")
+        cold = AdmissionService(ba_small, store=store)
+        scores = cold.rank_scores()
+        warm = AdmissionService(ba_small, store=store)
+        assert np.array_equal(warm.rank_scores(), scores)
+        assert store.stats.hits > 0
+
+    def test_telemetry_counters(self, ba_small):
+        with telemetry.activate() as tel:
+            service = AdmissionService(ba_small)
+            service.rank_scores()
+            service.rank_scores()
+            service.add_edge(0, ba_small.num_nodes - 1)
+            assert tel.counter("serve.queries.rank") == 2
+            assert tel.counter("serve.cache.hits") > 0
+            assert tel.counter("serve.writes") == 1
+
+    def test_config_validation(self, ba_small):
+        with pytest.raises(ServeError):
+            ServiceConfig(num_seeds=0)
+        with pytest.raises(ServeError):
+            ServiceConfig(admission_factor=0.0)
+        with pytest.raises(ServeError):
+            AdmissionService(ba_small, num_honest=0)
+        with pytest.raises(ServeError):
+            AdmissionService(Graph.from_edges([(0, 1)]))
+
+    def test_concurrent_reads_during_writes(self, ba_small):
+        service = AdmissionService(
+            ba_small, policy=CompactionPolicy(max_overlay_edges=16)
+        )
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    service.rank_scores()
+                    service.stats()
+                except Exception as exc:  # noqa: BLE001 - collecting
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        rng = np.random.default_rng(0)
+        for _ in range(120):
+            u, v = rng.integers(ba_small.num_nodes, size=2)
+            if u != v:
+                service.add_edge(int(u), int(v))
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.stats().compactions > 0
+
+
+class TestHTTPServer:
+    @pytest.fixture()
+    def served(self, tiny_wiki):
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+        service = AdmissionService(
+            attack.graph,
+            num_honest=attack.num_honest,
+            config=ServiceConfig(escape_walks=200),
+        )
+        server = create_server(service)
+        server.serve_in_background()
+        yield service, HttpClient(server.url)
+        server.shutdown()
+
+    def test_round_trip_matches_in_process(self, served):
+        service, client = served
+        assert client.num_nodes == service.stats().num_nodes
+        assert client.rank(3) == service.rank(3)
+        assert client.admission(5, 0) == service.admission(5, controller=0)
+        profile = client.escape()
+        reference = service.escape()
+        assert profile["escape"] == [float(p) for p in reference.escape]
+
+    def test_writes_and_compaction(self, served):
+        service, client = served
+        before = service.stats().num_edges
+        changed = client.add_edge(0, service.stats().snapshot_nodes - 1)
+        assert service.stats().num_edges == before + (1 if changed else 0)
+        first = client.add_node()
+        assert first == service.stats().num_nodes - 1
+        # force-compact over HTTP
+        doc = client._post("/compact", {})
+        assert doc["compacted"] is True
+        assert service.stats().staleness == 0
+
+    def test_error_surfaces(self, served):
+        _, client = served
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client.rank(10**9)
+        with pytest.raises(ServeError, match="HTTP 400"):
+            client._get("/rank")  # missing node param
+        with pytest.raises(ServeError, match="HTTP 404"):
+            client._get("/nope")
+
+
+class TestLoadGenerator:
+    def test_in_process_load_report(self, tiny_wiki):
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+        service = AdmissionService(
+            attack.graph,
+            num_honest=attack.num_honest,
+            config=ServiceConfig(escape_walks=200),
+            policy=CompactionPolicy(max_overlay_edges=16),
+        )
+        report = run_load(
+            InProcessClient(service),
+            LoadConfig(num_clients=3, num_requests=150, write_fraction=0.3),
+            target="tiny",
+        )
+        assert isinstance(report, LoadReport)
+        assert report.errors == 0
+        assert report.total_requests == 150
+        assert report.qps > 0
+        assert report.p99_ms >= report.p50_ms > 0
+        assert report.compactions == len(report.compaction_pauses_ms)
+        table = report.format_table()
+        assert "p99" in table and "rank" in table
+
+    def test_http_load_with_concurrent_writes(self, tiny_wiki):
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+        service = AdmissionService(
+            attack.graph,
+            num_honest=attack.num_honest,
+            config=ServiceConfig(escape_walks=200),
+            policy=CompactionPolicy(max_overlay_edges=24),
+        )
+        server = create_server(service)
+        server.serve_in_background()
+        try:
+            report = run_load(
+                HttpClient(server.url),
+                LoadConfig(num_clients=4, num_requests=200, write_fraction=0.3),
+                target="tiny",
+                service=service,
+            )
+        finally:
+            server.shutdown()
+        assert report.errors == 0
+        assert report.transport == "http"
+        stats = service.stats()
+        assert stats.writes > 0 and stats.queries > 0
+
+    def test_load_config_validation(self):
+        with pytest.raises(ServeError):
+            LoadConfig(num_clients=0)
+        with pytest.raises(ServeError):
+            LoadConfig(write_fraction=1.5)
+
+    def test_deterministic_op_stream(self, tiny_wiki):
+        # same config => same per-op request counts, independent of timing
+        attack = _standard_attack(tiny_wiki, 12, seed=0)
+
+        def counts():
+            service = AdmissionService(
+                attack.graph,
+                num_honest=attack.num_honest,
+                config=ServiceConfig(escape_walks=200),
+            )
+            report = run_load(
+                InProcessClient(service),
+                LoadConfig(num_clients=2, num_requests=80, seed=9),
+            )
+            return {s.op: s.count for s in report.summaries}
+
+        assert counts() == counts()
+
+
+class TestTelemetryDistributions:
+    def test_observe_and_summary(self):
+        tel = telemetry.Telemetry()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            tel.observe("lat", v)
+        summary = tel.distribution("lat")
+        assert summary["count"] == 4
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 4.0
+        doc = tel.as_dict()
+        assert doc["schema"] == telemetry.SCHEMA_VERSION
+        assert doc["distributions"]["lat"]["count"] == 4
+
+    def test_disabled_is_noop_and_reset_clears(self):
+        assert telemetry.NULL_TELEMETRY.observe("x", 1.0) is None
+        assert telemetry.NULL_TELEMETRY.distribution("x") == {}
+        tel = telemetry.Telemetry()
+        tel.observe("x", 1.0)
+        tel.reset()
+        assert tel.distribution("x") == {}
+
+    def test_bounded_buffer(self):
+        tel = telemetry.Telemetry()
+        cap = telemetry.DISTRIBUTION_CAPACITY
+        for v in range(cap + 10):
+            tel.observe("x", float(v))
+        summary = tel.distribution("x")
+        assert summary["count"] == cap
+        # oldest samples dropped
+        assert min(s for s in [summary["p50"]]) > 0
+
+
+def test_standard_attack_reexport():
+    assert standard_attack is _standard_attack
