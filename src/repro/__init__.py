@@ -45,10 +45,15 @@ from repro.analysis import (
     table2_gatekeeper,
 )
 from repro.cores import core_decomposition, core_structure, coreness_ecdf
-from repro.datasets import available_datasets, dataset_spec, load_dataset
+from repro.datasets import (
+    available_datasets,
+    build_sharded_analog,
+    dataset_spec,
+    load_dataset,
+)
 from repro.errors import ReproError
 from repro.expansion import envelope_expansion, expansion_factor_series
-from repro.graph import Graph, GraphBuilder
+from repro.graph import Graph, GraphBuilder, ShardedGraph
 from repro.markov import TransitionOperator, random_walk, total_variation_distance
 from repro.mixing import sampled_mixing_profile, sampled_mixing_time, slem
 from repro.pipeline import Pipeline, Stage, paper_measurement_pipeline
@@ -71,6 +76,8 @@ __all__ = [
     "ReproError",
     "Graph",
     "GraphBuilder",
+    "ShardedGraph",
+    "build_sharded_analog",
     "available_datasets",
     "dataset_spec",
     "load_dataset",

@@ -48,8 +48,12 @@ def resolve_chunks(
 
     ``num_sources == 0`` yields an empty plan (no chunks) regardless of
     ``chunk_size``/``workers`` — it must not trip the positivity check,
-    which is about the *requested* chunk size, not the workload.
+    which is about the *requested* chunk size, not the workload.  A
+    *negative* count is always a caller bug (the ``range`` below would
+    silently underflow to an empty plan) and raises.
     """
+    if num_sources < 0:
+        raise GraphError(f"num_sources must be non-negative, got {num_sources}")
     if num_sources == 0:
         return []
     if chunk_size is None:
@@ -96,13 +100,17 @@ def run_chunks(
             run_chunk(columns)
         return
     pool_size = min(workers, len(chunks))
+    # Snapshot the cumulative busy counter so the utilization gauge is
+    # computed from this run's delta only — reading the raw counter
+    # pinned the gauge near the 1.0 clamp on every run after the first.
+    busy_before = tel.counter("chunking.busy_seconds") if tel.enabled else 0.0
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=pool_size) as pool:
         # list() re-raises the first chunk failure, if any.
         list(pool.map(run_chunk, chunks))
     if tel.enabled:
         elapsed = time.perf_counter() - start
-        busy = tel.counter("chunking.busy_seconds")
+        busy = tel.counter("chunking.busy_seconds") - busy_before
         tel.count("chunking.parallel_runs")
         if elapsed > 0:
             tel.gauge(

@@ -7,6 +7,16 @@ Commands
 ``audit <edgelist> [--scale S]``
     Audit a SNAP-format edge list (or a bundled analog name) for
     Sybil-defense readiness: mixing, cores, expansion, recommendation.
+    With ``--sharded`` the target is an out-of-core sharded-graph
+    directory instead and every measurement streams shard by shard
+    (power-iteration SLEM, Sinclair bounds, sampled fast-mixing check).
+``shard build --out DIR (--target T | --stream fast|slow --nodes N)``
+    Shard a dataset to disk (:mod:`repro.graph.shard`), or stream a
+    multi-million-node synthetic analog straight into shards without
+    ever materializing the edge list.
+``shard info DIR [--verify]``
+    Print a sharded graph's manifest summary and per-shard layout;
+    ``--verify`` re-hashes every shard file against its digest.
 ``reproduce <experiment> [--scale S]``
     Regenerate one of the paper's tables/figures from the analog
     registry; ``<experiment>`` is one of table1, fig1, fig2, table2,
@@ -61,10 +71,21 @@ from repro.analysis import (
     table2_gatekeeper,
 )
 from repro.cores import core_structure
-from repro.datasets import available_datasets, dataset_spec, load_dataset
+from repro.datasets import (
+    STREAM_REGIMES,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.errors import GraphError
 from repro.expansion import envelope_expansion
-from repro.graph import largest_connected_component, read_edge_list
-from repro.mixing import is_fast_mixing, sinclair_bounds, slem
+from repro.graph import ShardedGraph, largest_connected_component, read_edge_list
+from repro.mixing import (
+    is_fast_mixing,
+    power_iteration_slem,
+    sinclair_bounds,
+    slem,
+)
 from repro import telemetry
 from repro.pipeline import fusion_comparison_pipeline, paper_measurement_pipeline
 from repro.store import ArtifactStore, memoize
@@ -113,7 +134,74 @@ def _load_target(target: str, scale: float):
     return graph
 
 
+def _audit_sharded(args: argparse.Namespace) -> int:
+    """Out-of-core readiness audit over a sharded-graph directory.
+
+    Streams every measurement shard block by shard block: SLEM via
+    deflated power iteration, Sinclair bounds, and the sampled
+    fast-mixing check (worst-source TVD below ``1/n`` within the
+    ``4 log2 n`` budget — the same criterion as
+    :func:`repro.mixing.is_fast_mixing`, measured on a geometric
+    length grid).  Core/expansion structure needs the resident graph
+    and is skipped at this scale.
+    """
+    from repro.markov.batch import batched_tvd_profile, sharded_stationary
+
+    try:
+        sharded = ShardedGraph.open(args.target)
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    n = sharded.num_nodes
+    print(
+        f"sharded graph: {n} nodes, {sharded.num_edges} edges, "
+        f"{sharded.num_shards} shards ({sharded.nodes_per_shard} nodes/shard)"
+    )
+    try:
+        # 1e-8 on the Rayleigh quotient (~1e-5-accurate mu): big analogs
+        # carry near-degenerate subdominant clusters the tight default
+        # tolerance cannot resolve in bounded iterations
+        mu = power_iteration_slem(sharded, tol=1e-8)
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    bounds = sinclair_bounds(mu, n, epsilon=1 / n)
+    budget = max(1, int(4.0 * np.log2(max(n, 2))))
+    lengths = sorted(
+        {1 << k for k in range(budget.bit_length()) if (1 << k) <= budget}
+        | {budget}
+    )
+    rng = np.random.default_rng(args.seed)
+    sources = np.sort(rng.choice(n, size=min(args.sources, n), replace=False))
+    tvd = batched_tvd_profile(
+        sharded, sharded_stationary(sharded), sources, lengths, chunk_size=8
+    )
+    worst = tvd.max(axis=0)
+    fast = bool((worst < 1.0 / n).any())
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["SLEM mu (power iteration)", f"{mu:.4f}"],
+                ["T(1/n) lower bound", f"{bounds.lower:.0f} steps"],
+                ["T(1/n) upper bound", f"{bounds.upper:.0f} steps"],
+                ["O(log n) budget", f"{budget} steps"],
+                ["worst-source TVD at budget", f"{worst[-1]:.3e}"],
+                ["fast-mixing (O(log n))", "PASS" if fast else "FAIL"],
+            ],
+            title="Sharded mixing audit",
+        )
+    )
+    if fast:
+        print("\nverdict: mixes fast at this scale; random-walk Sybil")
+        print("defenses get their headline guarantees.")
+    else:
+        print("\nverdict: slow mixing — random-walk Sybil defenses will")
+        print("either reject confined honest users or admit more Sybils.")
+    return 0
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
+    if getattr(args, "sharded", False):
+        return _audit_sharded(args)
     store = _store_from(args)
     graph = _load_target(args.target, args.scale)
     print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges (LCC)")
@@ -167,6 +255,88 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         print("\nverdict: slow mixing — random-walk Sybil defenses will")
         print("either reject confined honest users or admit more Sybils.")
     return 0
+
+
+def _shard_build(args: argparse.Namespace) -> int:
+    if (args.target is None) == (args.stream is None):
+        raise SystemExit("pass exactly one of --target or --stream")
+    out = Path(args.out)
+    try:
+        if args.stream is not None:
+            if args.nodes is None:
+                raise SystemExit("--stream requires --nodes")
+            from repro.datasets import build_sharded_analog
+
+            sharded = build_sharded_analog(
+                out,
+                args.nodes,
+                regime=args.stream,
+                seed=args.seed,
+                num_shards=args.num_shards,
+                nodes_per_shard=args.nodes_per_shard,
+            )
+        else:
+            graph = _load_target(args.target, args.scale)
+            sharded = ShardedGraph.from_graph(
+                graph,
+                out,
+                num_shards=args.num_shards,
+                nodes_per_shard=args.nodes_per_shard,
+            )
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    print(f"sharded graph written to {out}")
+    print(
+        f"{sharded.num_nodes} nodes, {sharded.num_edges} edges, "
+        f"{sharded.num_shards} shards ({sharded.nodes_per_shard} nodes/shard)"
+    )
+    print(f"graph digest: {sharded.graph_digest}")
+    return 0
+
+
+def _shard_info(args: argparse.Namespace) -> int:
+    try:
+        sharded = ShardedGraph.open(args.root)
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"sharded graph: {sharded.num_nodes} nodes, {sharded.num_edges} edges, "
+        f"{sharded.num_shards} shards ({sharded.nodes_per_shard} nodes/shard)"
+    )
+    print(f"graph digest: {sharded.graph_digest}")
+    bounds = sharded.bounds
+    rows = []
+    for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+        shard = sharded.shard(index)
+        rows.append(
+            [
+                index,
+                f"[{lo}, {hi})",
+                hi - lo,
+                int(np.asarray(shard.indptr)[-1]),
+                f"{shard.nbytes:,}",
+            ]
+        )
+    print(
+        format_table(
+            ["shard", "nodes", "rows", "half-edges", "bytes"],
+            rows,
+            title="Shard layout",
+        )
+    )
+    if args.verify:
+        if sharded.verify():
+            print("\nverify: all shard digests match the manifest")
+        else:
+            print("\nverify: DIGEST MISMATCH — shard files are corrupt")
+            return 1
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.shard_command == "build":
+        return _shard_build(args)
+    return _shard_info(args)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -562,9 +732,65 @@ def main(argv: list[str] | None = None) -> int:
     audit = sub.add_parser(
         "audit", help="audit a graph for defense readiness", parents=[metrics]
     )
-    audit.add_argument("target", help="edge-list path or bundled dataset name")
+    audit.add_argument(
+        "target",
+        help="edge-list path or bundled dataset name "
+        "(with --sharded: a sharded-graph directory)",
+    )
     audit.add_argument("--scale", type=float, default=0.25)
     audit.add_argument("--cache-dir", help=cache_help)
+    audit.add_argument(
+        "--sharded",
+        action="store_true",
+        help="audit TARGET as an out-of-core sharded-graph directory, "
+        "streaming every measurement shard by shard",
+    )
+    audit.add_argument(
+        "--seed", type=int, default=0, help="sharded audit: source-sampling seed"
+    )
+    audit.add_argument(
+        "--sources",
+        type=int,
+        default=30,
+        help="sharded audit: number of sampled TVD sources",
+    )
+    shard = sub.add_parser(
+        "shard", help="build and inspect out-of-core sharded graphs"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    build = shard_sub.add_parser(
+        "build",
+        help="shard a dataset to disk, or stream a huge synthetic analog",
+        parents=[metrics],
+    )
+    build.add_argument("--out", required=True, help="destination directory")
+    build.add_argument(
+        "--target", help="edge-list path or bundled dataset name to shard"
+    )
+    build.add_argument("--scale", type=float, default=0.25)
+    build.add_argument(
+        "--stream",
+        choices=sorted(STREAM_REGIMES),
+        help="instead of --target, stream a synthetic analog of this "
+        "mixing regime straight to shards (needs --nodes)",
+    )
+    build.add_argument(
+        "--nodes", type=int, help="streamed analog size (with --stream)"
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--num-shards", type=int)
+    build.add_argument("--nodes-per-shard", type=int)
+    info = shard_sub.add_parser(
+        "info",
+        help="print a sharded graph's manifest summary",
+        parents=[metrics],
+    )
+    info.add_argument("root", help="sharded-graph directory")
+    info.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every shard file against the manifest digests",
+    )
     repro = sub.add_parser(
         "reproduce", help="regenerate a paper experiment", parents=[metrics]
     )
@@ -722,6 +948,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "datasets": _cmd_datasets,
         "audit": _cmd_audit,
+        "shard": _cmd_shard,
         "reproduce": _cmd_reproduce,
         "report": _cmd_report,
         "pipeline": _cmd_pipeline,

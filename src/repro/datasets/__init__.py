@@ -10,6 +10,13 @@ from repro.datasets.registry import (
     dataset_spec,
     load_dataset,
 )
+from repro.datasets.streaming import (
+    STREAM_REGIMES,
+    StreamSpec,
+    build_sharded_analog,
+    stream_analog_edges,
+    stream_fingerprint,
+)
 
 __all__ = [
     "DatasetSpec",
@@ -20,4 +27,9 @@ __all__ = [
     "SMALL_DATASETS",
     "MEDIUM_DATASETS",
     "LARGE_DATASETS",
+    "StreamSpec",
+    "STREAM_REGIMES",
+    "stream_analog_edges",
+    "stream_fingerprint",
+    "build_sharded_analog",
 ]

@@ -8,6 +8,7 @@ from repro.graph.centrality import (
 )
 from repro.graph.core import Graph
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.shard import DEFAULT_NODES_PER_SHARD, Shard, ShardedGraph
 from repro.graph.metrics import (
     approximate_diameter,
     degree_assortativity,
@@ -44,6 +45,9 @@ from repro.graph.traversal import (
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "Shard",
+    "ShardedGraph",
+    "DEFAULT_NODES_PER_SHARD",
     "read_edge_list",
     "write_edge_list",
     "bfs_distances",

@@ -44,6 +44,7 @@ from repro import telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 from repro.graph.core import Graph
+from repro.graph.shard import ShardedGraph
 
 __all__ = [
     "bfs_level_sizes_block",
@@ -90,8 +91,32 @@ def _adjacency_operator(graph: Graph) -> sp.csr_matrix:
     )
 
 
+def _frontier_apply(graph: Graph | ShardedGraph):
+    """Return ``apply(frontier) -> neighbor-count block`` for the graph.
+
+    For a resident graph this is one CSR matvec block product.  For a
+    :class:`~repro.graph.shard.ShardedGraph` each shard's row block of
+    the adjacency multiplies the frontier independently and lands in
+    its own output rows — CSR matvecs reduce rows independently, so the
+    assembled product is bit-identical to the monolithic one.
+    """
+    if isinstance(graph, ShardedGraph):
+        sharded = graph
+
+        def apply(frontier: np.ndarray) -> np.ndarray:
+            out = np.empty(
+                (sharded.num_nodes, frontier.shape[1]), dtype=np.float32
+            )
+            for shard in sharded.iter_shards():
+                out[shard.lo : shard.hi] = shard.adjacency_rows().dot(frontier)
+            return out
+
+        return apply
+    return _adjacency_operator(graph).dot
+
+
 def _bfs_chunk(
-    adjacency: sp.csr_matrix,
+    apply_adjacency,
     num_nodes: int,
     sources: np.ndarray,
     max_levels: int | None,
@@ -118,7 +143,7 @@ def _bfs_chunk(
         # one CSR pass for the whole block: the sparse adjacency times
         # the dense frontier indicator counts, per (node, column), how
         # many frontier neighbors that node has in that column
-        fresh = adjacency.dot(frontier) > 0
+        fresh = apply_adjacency(frontier) > 0
         fresh &= ~visited
         per_column = fresh.sum(axis=0).astype(np.int64)
         if not per_column.any():
@@ -132,7 +157,7 @@ def _bfs_chunk(
 
 
 def bfs_level_sizes_block(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     chunk_size: int | None = None,
     workers: int | None = None,
@@ -162,13 +187,14 @@ def bfs_level_sizes_block(
         tel.count("graph.bfs.sources", int(chosen.size))
         chunks = resolve_chunks(chosen.size, chunk_size, workers)
         chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
-        adjacency = _adjacency_operator(graph)
+        apply_adjacency = _frontier_apply(graph)
         results: list[np.ndarray | None] = [None] * len(chunks)
 
         def run_chunk(columns: slice) -> None:
             with tel.span("graph.bfs.frontier_chunk"):
                 block = _bfs_chunk(
-                    adjacency, graph.num_nodes, chosen[columns], max_levels, None
+                    apply_adjacency, graph.num_nodes, chosen[columns], max_levels,
+                    None,
                 )
             results[chunk_index[(columns.start, columns.stop)]] = block
             tel.count("graph.bfs.levels", int(block.shape[1]))
@@ -183,7 +209,7 @@ def bfs_level_sizes_block(
 
 
 def bfs_distances_block(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     chunk_size: int | None = None,
     workers: int | None = None,
@@ -202,13 +228,13 @@ def bfs_distances_block(
     with tel.span("graph.bfs.distances"):
         tel.count("graph.bfs.sources", int(chosen.size))
         chunks = resolve_chunks(chosen.size, chunk_size, workers)
-        adjacency = _adjacency_operator(graph)
+        apply_adjacency = _frontier_apply(graph)
         out = np.full((chosen.size, graph.num_nodes), _UNREACHED, dtype=np.int64)
 
         def run_chunk(columns: slice) -> None:
             with tel.span("graph.bfs.frontier_chunk"):
                 block = _bfs_chunk(
-                    adjacency,
+                    apply_adjacency,
                     graph.num_nodes,
                     chosen[columns],
                     None,

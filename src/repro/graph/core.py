@@ -41,6 +41,11 @@ def _canonical_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
         return np.empty((0, 2), dtype=np.int64)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise GraphError(f"edge array must have shape (k, 2), got {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        # astype would silently truncate (0, 1.7) -> (0, 1); refuse instead.
+        raise GraphError(
+            f"node ids must have an integer dtype, got {arr.dtype}"
+        )
     arr = arr.astype(np.int64, copy=False)
     if arr.min() < 0:
         raise GraphError("node ids must be non-negative")

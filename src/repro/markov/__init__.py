@@ -1,6 +1,11 @@
 """Markov-chain substrate: transition operators, walks and distances."""
 
-from repro.markov.batch import batched_tvd_profile, delta_block, evolve_block
+from repro.markov.batch import (
+    batched_tvd_profile,
+    delta_block,
+    evolve_block,
+    sharded_stationary,
+)
 from repro.markov.hitting import (
     commute_time,
     effective_resistance,
@@ -41,6 +46,7 @@ __all__ = [
     "delta_block",
     "evolve_block",
     "batched_tvd_profile",
+    "sharded_stationary",
     "total_variation_distance",
     "l2_distance",
     "kl_divergence",

@@ -37,11 +37,13 @@ import scipy.sparse as sp
 from repro import telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
+from repro.graph.shard import ShardedGraph
 
 __all__ = [
     "delta_block",
     "evolve_block",
     "batched_tvd_profile",
+    "sharded_stationary",
     "validate_walk_lengths",
     "DEFAULT_CHUNK_SIZE",
 ]
@@ -83,16 +85,32 @@ def delta_block(num_nodes: int, sources: np.ndarray | Sequence[int]) -> np.ndarr
 
 
 def evolve_block(
-    matrix: sp.spmatrix, block: np.ndarray, steps: int = 1
+    matrix: sp.spmatrix | ShardedGraph, block: np.ndarray, steps: int = 1
 ) -> np.ndarray:
     """Advance every column of ``block`` by ``steps`` walk steps.
 
     ``matrix`` is the row-stochastic transition matrix P; each step maps
     the block ``D`` to ``P^T D`` (column ``j`` evolves exactly like
     ``TransitionOperator.evolve`` on that column alone).
+
+    A :class:`~repro.graph.shard.ShardedGraph` may be passed instead of
+    a resident matrix: the (non-lazy) transition product then streams
+    shard blocks through the same CSC kernel scipy dispatches to, and
+    the result is bit-identical to evolving through
+    ``transition_matrix(sharded.to_graph())``.
     """
     if steps < 0:
         raise GraphError("steps must be non-negative")
+    if isinstance(matrix, ShardedGraph):
+        stepper = _ShardedEvolver(matrix)
+        out = np.ascontiguousarray(block, dtype=float)
+        if out.ndim != 2 or out.shape[0] != matrix.num_nodes:
+            raise GraphError(
+                f"block must have shape ({matrix.num_nodes}, s), got {out.shape}"
+            )
+        if out is block:
+            out = out.copy()
+        return stepper.evolve(out, steps)
     n = matrix.shape[0]
     out = np.asarray(block, dtype=float)
     if out.ndim != 2 or out.shape[0] != n:
@@ -101,6 +119,53 @@ def evolve_block(
     for _ in range(steps):
         out = transposed @ out
     return out
+
+
+def sharded_stationary(sharded: ShardedGraph) -> np.ndarray:
+    """Return ``pi[v] = deg(v) / 2m`` streamed from shard degrees.
+
+    The sharded twin of
+    :func:`repro.markov.transition.stationary_distribution`, computed
+    without materializing the graph.
+    """
+    degrees = sharded.degrees.astype(float)
+    total = degrees.sum()
+    if total == 0:
+        raise GraphError("stationary distribution undefined for an edgeless graph")
+    return degrees / total
+
+
+class _ShardedEvolver:
+    """Streams ``P^T @ block`` shard-by-shard, bit-identical to scipy.
+
+    Shards are processed in ascending node order and accumulate into
+    one shared output through
+    :meth:`~repro.graph.shard.Shard.scatter_transition` — the same
+    per-entry reduction order as the monolithic csc product.  Isolated
+    nodes (absorbing self-loops in the merged in-RAM P) are patched
+    from the input block, which is exact because nothing else ever
+    contributes to their rows.
+    """
+
+    def __init__(self, sharded: ShardedGraph) -> None:
+        self._sharded = sharded
+        degrees = sharded.degrees.astype(float)
+        self._inv_deg = np.zeros(degrees.size)
+        nonzero = degrees > 0
+        self._inv_deg[nonzero] = 1.0 / degrees[nonzero]
+        self._isolated = np.flatnonzero(~nonzero)
+
+    def evolve(self, block: np.ndarray, steps: int) -> np.ndarray:
+        """Advance a C-contiguous float64 ``(n, s)`` block in place-ish."""
+        cur = block
+        for _ in range(steps):
+            nxt = np.zeros_like(cur)
+            for shard in self._sharded.iter_shards():
+                shard.scatter_transition(cur, self._inv_deg, nxt)
+            if self._isolated.size:
+                nxt[self._isolated] = cur[self._isolated]
+            cur = nxt
+        return cur
 
 
 def _tvd_rows(block: np.ndarray, stationary: np.ndarray) -> np.ndarray:
@@ -116,7 +181,7 @@ def _tvd_rows(block: np.ndarray, stationary: np.ndarray) -> np.ndarray:
 
 
 def batched_tvd_profile(
-    matrix: sp.spmatrix,
+    matrix: sp.spmatrix | ShardedGraph,
     stationary: np.ndarray,
     sources: np.ndarray | Sequence[int],
     walk_lengths: np.ndarray | Sequence[int],
@@ -131,6 +196,11 @@ def batched_tvd_profile(
     most ``chunk_size`` columns (default ``DEFAULT_CHUNK_SIZE``); with
     ``workers`` the independent chunks run on a thread pool.
 
+    ``matrix`` may be a :class:`~repro.graph.shard.ShardedGraph`
+    instead of a resident transition matrix: each chunk then streams
+    shard blocks per step (non-lazy walk), producing entries
+    bit-identical to the in-RAM engine on the materialized graph.
+
     An empty source array is legal and returns the empty
     ``(0, len(walk_lengths))`` matrix (walk lengths are still
     validated) — the engine-level face of the chunk planner's
@@ -143,19 +213,26 @@ def batched_tvd_profile(
     tel = telemetry.current()
     with tel.span("markov.batch.tvd_profile"):
         tel.count("markov.batch.sources", int(chosen.size))
-        n = matrix.shape[0]
+        sharded = matrix if isinstance(matrix, ShardedGraph) else None
+        evolver = _ShardedEvolver(sharded) if sharded is not None else None
+        n = sharded.num_nodes if sharded is not None else matrix.shape[0]
         full_block = delta_block(n, chosen)
         tvd = np.empty((chosen.size, lengths.size))
         chunks = resolve_chunks(chosen.size, chunk_size, workers)
-        transposed = matrix.T
+        transposed = matrix.T if sharded is None else None
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.batch.evolve_chunk"):
                 block = full_block[:, columns]
+                if evolver is not None:
+                    block = np.ascontiguousarray(block)
                 step = 0
                 for col, target in enumerate(lengths):
-                    for _ in range(int(target) - step):
-                        block = transposed @ block
+                    if evolver is not None:
+                        block = evolver.evolve(block, int(target) - step)
+                    else:
+                        for _ in range(int(target) - step):
+                            block = transposed @ block
                     step = int(target)
                     tvd[columns, col] = _tvd_rows(block, stationary)
             tel.count(

@@ -47,6 +47,7 @@ from repro import telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 from repro.graph.core import Graph
+from repro.graph.shard import ShardedGraph
 
 __all__ = [
     "NO_HIT",
@@ -72,7 +73,9 @@ _STEP_BLOCK = 1024
 _SeedLike = "int | np.random.SeedSequence | np.random.Generator"
 
 
-def _validate_sources(graph: Graph, sources: np.ndarray | Sequence[int]) -> np.ndarray:
+def _validate_sources(
+    graph: "Graph | ShardedGraph", sources: np.ndarray | Sequence[int]
+) -> np.ndarray:
     chosen = np.asarray(list(sources), dtype=np.int64)
     if chosen.size and (chosen.min() < 0 or chosen.max() >= graph.num_nodes):
         raise GraphError(
@@ -161,11 +164,81 @@ def _step_sequential(
     return int(indices[indptr[state] + offset])
 
 
+class _DenseStepper:
+    """Stepping kernel over a resident graph's CSR arrays."""
+
+    __slots__ = ("indptr", "indices", "degrees")
+
+    def __init__(self, graph: Graph) -> None:
+        self.indptr = graph.indptr
+        self.indices = graph.indices
+        self.degrees = graph.degrees
+
+    def advance(self, states: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return _advance(states, u, self.indptr, self.indices, self.degrees)
+
+    def step(self, state: int, u: float) -> int:
+        return _step_sequential(state, u, self.indptr, self.indices, self.degrees)
+
+
+class _ShardedStepper:
+    """Stepping kernel that gathers from memory-mapped shards.
+
+    States are grouped by owning shard per step; each group's degree
+    lookup and neighbor gather run against that shard's local arrays
+    with the exact per-element arithmetic of :func:`_advance`
+    (``floor(u * deg)`` clipped to ``deg - 1``; isolated nodes stay
+    put), so trajectories are bit-identical to the resident kernel for
+    the same seed streams.
+    """
+
+    __slots__ = ("_sharded",)
+
+    def __init__(self, sharded: ShardedGraph) -> None:
+        self._sharded = sharded
+
+    def advance(self, states: np.ndarray, u: np.ndarray) -> np.ndarray:
+        out = states.copy()
+        sids = self._sharded.shard_index_of(states)
+        for k in np.unique(sids):
+            shard = self._sharded.shard(int(k))
+            sel = np.flatnonzero(sids == k)
+            local = states[sel] - shard.lo
+            starts = np.asarray(shard.indptr[local])
+            deg = np.asarray(shard.indptr[local + 1]) - starts
+            moving = deg > 0
+            if not moving.any():
+                continue
+            mdeg = deg[moving]
+            offsets = (u[sel][moving] * mdeg).astype(np.int64)
+            np.minimum(offsets, mdeg - 1, out=offsets)
+            out[sel[moving]] = shard.indices[starts[moving] + offsets]
+        return out
+
+    def step(self, state: int, u: float) -> int:
+        shard = self._sharded.shard(self._sharded.shard_index_of(int(state)))
+        local = int(state) - shard.lo
+        start = int(shard.indptr[local])
+        deg = int(shard.indptr[local + 1]) - start
+        if deg == 0:
+            return int(state)
+        offset = int(u * deg)
+        if offset >= deg:
+            offset = deg - 1
+        return int(shard.indices[start + offset])
+
+
+def _stepper(graph: "Graph | ShardedGraph") -> "_DenseStepper | _ShardedStepper":
+    if isinstance(graph, ShardedGraph):
+        return _ShardedStepper(graph)
+    return _DenseStepper(graph)
+
+
 # ----------------------------------------------------------------------
 # mode (a): full trajectories
 # ----------------------------------------------------------------------
 def walk_block(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     length: int,
     seed: _SeedLike = 0,
@@ -189,14 +262,14 @@ def walk_block(
     if chosen.size == 0:
         return out
     streams = _streams(seed, chosen.size)
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    stepper = _stepper(graph)
     tel = telemetry.current()
     with tel.span("markov.walk.block"):
         tel.count("markov.walk.walks", int(chosen.size))
         if strategy == "sequential":
             for i in range(chosen.size):
                 out[i] = _sequential_trajectory(
-                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                    int(chosen[i]), streams[i], length, stepper
                 )
             tel.count("markov.walk.steps", int(chosen.size) * length)
             return out
@@ -211,7 +284,7 @@ def walk_block(
                     count = min(_STEP_BLOCK, length - step)
                     u = _uniform_block(chunk_streams, count)
                     for t in range(count):
-                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        states = stepper.advance(states, u[:, t])
                         out[columns, step + t + 1] = states
                     step += count
             tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
@@ -224,16 +297,14 @@ def _sequential_trajectory(
     source: int,
     stream: np.random.Generator,
     length: int,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    degrees: np.ndarray,
+    stepper: "_DenseStepper | _ShardedStepper",
 ) -> np.ndarray:
     path = np.empty(length + 1, dtype=np.int64)
     path[0] = source
     state = source
     u = stream.random(length)
     for t in range(length):
-        state = _step_sequential(state, u[t], indptr, indices, degrees)
+        state = stepper.step(state, u[t])
         path[t + 1] = state
     return path
 
@@ -242,7 +313,7 @@ def _sequential_trajectory(
 # mode (b): endpoints only
 # ----------------------------------------------------------------------
 def walk_endpoints(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     length: int,
     seed: _SeedLike = 0,
@@ -264,14 +335,14 @@ def walk_endpoints(
     if chosen.size == 0:
         return out
     streams = _streams(seed, chosen.size)
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    stepper = _stepper(graph)
     tel = telemetry.current()
     with tel.span("markov.walk.endpoints"):
         tel.count("markov.walk.walks", int(chosen.size))
         if strategy == "sequential":
             for i in range(chosen.size):
                 out[i] = _sequential_trajectory(
-                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                    int(chosen[i]), streams[i], length, stepper
                 )[-1]
             tel.count("markov.walk.steps", int(chosen.size) * length)
             return out
@@ -285,7 +356,7 @@ def walk_endpoints(
                     count = min(_STEP_BLOCK, length - step)
                     u = _uniform_block(chunk_streams, count)
                     for t in range(count):
-                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        states = stepper.advance(states, u[:, t])
                     step += count
                 out[columns] = states
             tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
@@ -298,7 +369,7 @@ def walk_endpoints(
 # mode (c): first hit against a node mask
 # ----------------------------------------------------------------------
 def walk_first_hits(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     length: int,
     mask: np.ndarray,
@@ -331,7 +402,7 @@ def walk_first_hits(
     if chosen.size == 0:
         return out
     streams = _streams(seed, chosen.size)
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    stepper = _stepper(graph)
     tel = telemetry.current()
     with tel.span("markov.walk.first_hits"):
         tel.count("markov.walk.walks", int(chosen.size))
@@ -339,8 +410,7 @@ def walk_first_hits(
             steps_taken = 0
             for i in range(chosen.size):
                 hit, consumed = _sequential_first_hit(
-                    int(chosen[i]), streams[i], length, hit_mask,
-                    indptr, indices, degrees,
+                    int(chosen[i]), streams[i], length, hit_mask, stepper
                 )
                 out[i] = hit
                 steps_taken += consumed
@@ -361,7 +431,7 @@ def walk_first_hits(
                     count = min(_STEP_BLOCK, length - step)
                     u = _uniform_block(chunk_streams, count)
                     for t in range(count):
-                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        states = stepper.advance(states, u[:, t])
                         steps_taken += states.size
                         newly = alive & hit_mask[states]
                         if newly.any():
@@ -385,9 +455,7 @@ def _sequential_first_hit(
     stream: np.random.Generator,
     length: int,
     mask: np.ndarray,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    degrees: np.ndarray,
+    stepper: "_DenseStepper | _ShardedStepper",
 ) -> tuple[int, int]:
     """Per-walk oracle; returns ``(first_hit, steps consumed)``."""
     if mask[source]:
@@ -399,7 +467,7 @@ def _sequential_first_hit(
         count = min(_STEP_BLOCK, length - step)
         u = stream.random(count)
         for t in range(count):
-            state = _step_sequential(state, u[t], indptr, indices, degrees)
+            state = stepper.step(state, u[t])
             consumed += 1
             if mask[state]:
                 return step + t + 1, consumed
@@ -411,7 +479,7 @@ def _sequential_first_hit(
 # mode (d): visit-count accumulation
 # ----------------------------------------------------------------------
 def walk_visit_counts(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     length: int,
     seed: _SeedLike = 0,
@@ -440,7 +508,7 @@ def walk_visit_counts(
     if chosen.size == 0:
         return counts
     streams = _streams(seed, chosen.size)
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    stepper = _stepper(graph)
     n = graph.num_nodes
     tel = telemetry.current()
     with tel.span("markov.walk.visit_counts"):
@@ -448,7 +516,7 @@ def walk_visit_counts(
         if strategy == "sequential":
             for i in range(chosen.size):
                 path = _sequential_trajectory(
-                    int(chosen[i]), streams[i], length, indptr, indices, degrees
+                    int(chosen[i]), streams[i], length, stepper
                 )
                 if record == "last":
                     counts[path[-1]] += 1
@@ -471,7 +539,7 @@ def walk_visit_counts(
                     count = min(_STEP_BLOCK, length - step)
                     u = _uniform_block(chunk_streams, count)
                     for t in range(count):
-                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        states = stepper.advance(states, u[:, t])
                         if record == "all":
                             local += np.bincount(states, minlength=n)
                     step += count
@@ -489,7 +557,7 @@ def walk_visit_counts(
 # cover tracking (the Monte-Carlo cover-time estimator's kernel)
 # ----------------------------------------------------------------------
 def walk_cover_steps(
-    graph: Graph,
+    graph: Graph | ShardedGraph,
     sources: np.ndarray | Sequence[int],
     max_steps: int,
     seed: _SeedLike = 0,
@@ -511,7 +579,7 @@ def walk_cover_steps(
     if chosen.size == 0:
         return out
     streams = _streams(seed, chosen.size)
-    indptr, indices, degrees = graph.indptr, graph.indices, graph.degrees
+    stepper = _stepper(graph)
     n = graph.num_nodes
     tel = telemetry.current()
     with tel.span("markov.walk.cover_steps"):
@@ -519,8 +587,7 @@ def walk_cover_steps(
         if strategy == "sequential":
             for i in range(chosen.size):
                 out[i] = _sequential_cover(
-                    int(chosen[i]), streams[i], max_steps, n,
-                    indptr, indices, degrees,
+                    int(chosen[i]), streams[i], max_steps, n, stepper
                 )
             tel.count("markov.walk.absorbed", int(np.count_nonzero(out != NO_HIT)))
             return out
@@ -544,7 +611,7 @@ def walk_cover_steps(
                     count = min(_STEP_BLOCK, max_steps - step)
                     u = _uniform_block(chunk_streams, count)
                     for t in range(count):
-                        states = _advance(states, u[:, t], indptr, indices, degrees)
+                        states = stepper.advance(states, u[:, t])
                         steps_taken += k
                         newly = alive & ~visited[rows, states]
                         visited[rows[newly], states[newly]] = True
@@ -571,9 +638,7 @@ def _sequential_cover(
     stream: np.random.Generator,
     max_steps: int,
     n: int,
-    indptr: np.ndarray,
-    indices: np.ndarray,
-    degrees: np.ndarray,
+    stepper: "_DenseStepper | _ShardedStepper",
 ) -> int:
     if n == 1:
         return 0
@@ -586,7 +651,7 @@ def _sequential_cover(
         count = min(_STEP_BLOCK, max_steps - step)
         u = stream.random(count)
         for t in range(count):
-            state = _step_sequential(state, u[t], indptr, indices, degrees)
+            state = stepper.step(state, u[t])
             if not visited[state]:
                 visited[state] = True
                 remaining -= 1

@@ -10,6 +10,7 @@ from repro.mixing.sampling import (
 from repro.mixing.spectral import (
     MixingBounds,
     normalized_adjacency,
+    power_iteration_slem,
     sinclair_bounds,
     slem,
     spectral_gap,
@@ -29,6 +30,7 @@ __all__ = [
     "sampled_mixing_time",
     "is_fast_mixing",
     "slem",
+    "power_iteration_slem",
     "spectral_gap",
     "normalized_adjacency",
     "MixingBounds",

@@ -128,6 +128,14 @@ class TestResolveChunksGrid:
         chunks = resolve_chunks(1000, None, None)
         assert chunks[0] == slice(0, DEFAULT_CHUNK_SIZE)
 
+    def test_negative_num_sources_rejected(self):
+        # regression: range(0, -5, size) silently produced an empty
+        # plan, hiding caller bugs as empty results
+        with pytest.raises(GraphError, match="non-negative"):
+            resolve_chunks(-1, None, None)
+        with pytest.raises(GraphError, match="-5"):
+            resolve_chunks(-5, 64, 4)
+
     def test_nonpositive_chunk_size_rejected(self):
         with pytest.raises(GraphError):
             resolve_chunks(10, 0, None)
@@ -185,6 +193,28 @@ class TestChunkingTelemetry:
         assert tel.spans["chunking.chunk"].count == 10
         assert tel.counter("chunking.parallel_runs") == 1
         assert 0.0 <= tel.gauges["chunking.worker_utilization"] <= 1.0
+
+    def test_utilization_gauge_uses_per_run_delta(self):
+        # regression: the gauge divided the *cumulative* busy counter by
+        # this run's elapsed time, so every parallel run after the first
+        # read near the 1.0 clamp regardless of actual pool usage
+        import time
+
+        def slow(columns: slice) -> None:
+            time.sleep(0.05)
+
+        def half_idle(columns: slice) -> None:
+            if columns.start == 0:
+                time.sleep(0.05)
+
+        with telemetry.activate() as tel:
+            run_chunks(slow, resolve_chunks(4, 1, 2), workers=2)
+            busy_after_first = tel.counter("chunking.busy_seconds")
+            run_chunks(half_idle, resolve_chunks(2, 1, 2), workers=2)
+        # second run: one worker sleeps ~50ms, the other is idle; with
+        # the cumulative-counter bug the gauge stayed pinned at 1.0
+        assert busy_after_first >= 0.1
+        assert 0.0 < tel.gauges["chunking.worker_utilization"] <= 0.9
 
     def test_inline_run_has_no_parallel_metrics(self):
         with telemetry.activate() as tel:

@@ -40,6 +40,98 @@ class TestAudit:
             main(["audit", "/nonexistent/file.txt"])
 
 
+class TestShard:
+    def test_build_stream_info_audit_round_trip(self, tmp_path, capsys):
+        root = tmp_path / "sg"
+        assert (
+            main(
+                [
+                    "shard",
+                    "build",
+                    "--out",
+                    str(root),
+                    "--stream",
+                    "fast",
+                    "--nodes",
+                    "4000",
+                    "--num-shards",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert "3 shards" in capsys.readouterr().out
+        assert main(["shard", "info", str(root), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "4000 nodes" in out
+        assert "digests match" in out
+        assert main(["audit", str(root), "--sharded", "--sources", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "SLEM" in out
+        assert "verdict" in out
+
+    def test_build_from_bundled_dataset(self, tmp_path, capsys):
+        root = tmp_path / "wv"
+        args = ["shard", "build", "--out", str(root), "--target", "wiki_vote"]
+        assert main(args + ["--scale", "0.05"]) == 0
+        assert "graph digest" in capsys.readouterr().out
+
+    def test_build_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["shard", "build", "--out", str(tmp_path / "x")])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "shard",
+                    "build",
+                    "--out",
+                    str(tmp_path / "x"),
+                    "--target",
+                    "wiki_vote",
+                    "--stream",
+                    "fast",
+                ]
+            )
+
+    def test_info_missing_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["shard", "info", str(tmp_path / "nothing")])
+
+    def test_sharded_audit_metrics_contract(self, tmp_path, capsys):
+        root = tmp_path / "sg"
+        main(
+            [
+                "shard",
+                "build",
+                "--out",
+                str(root),
+                "--stream",
+                "fast",
+                "--nodes",
+                "3000",
+            ]
+        )
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "audit",
+                    str(root),
+                    "--sharded",
+                    "--sources",
+                    "4",
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["shard.loads"] >= 1
+        assert doc["gauges"]["shard.resident_bytes"] > 0
+
+
 class TestReproduce:
     @pytest.mark.parametrize("experiment", ["table1", "fig2", "fig5"])
     def test_fast_experiments(self, experiment, capsys):

@@ -45,6 +45,27 @@ class TestConstruction:
         with pytest.raises(GraphError):
             Graph.from_edges(np.array([[1, 2, 3]]))
 
+    def test_from_edges_rejects_float_dtype_naming_it(self):
+        # regression: astype(int64) silently truncated (0, 1.7) -> (0, 1)
+        with pytest.raises(GraphError, match="float64"):
+            Graph.from_edges(np.array([[0.0, 1.7]]))
+
+    def test_from_edges_rejects_integral_valued_floats(self):
+        # even exactly-representable values: the dtype is the bug signal
+        with pytest.raises(GraphError, match="integer dtype"):
+            Graph.from_edges(np.array([[0.0, 1.0]]))
+
+    def test_from_edges_rejects_float_tuples(self):
+        with pytest.raises(GraphError, match="integer dtype"):
+            Graph.from_edges([(0, 1.5)])
+
+    def test_from_edges_empty_list_still_builds(self):
+        # the empty fast path must stay ahead of the dtype check (an
+        # empty sequence defaults to float64)
+        g = Graph.from_edges([], num_nodes=3)
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+
     def test_empty_graph(self):
         g = Graph.empty(5)
         assert g.num_nodes == 5

@@ -1,0 +1,479 @@
+"""Out-of-core sharded graph engine tests (PR 9).
+
+Covers the tentpole end to end:
+
+* round-trip and manifest-digest chaining into :mod:`repro.store` keys;
+* bit-identity grids — every batch engine (walk evolution, BFS, random
+  walks) run on a :class:`~repro.graph.shard.ShardedGraph` across
+  shard-count x chunk-size x workers must equal the in-RAM engine and
+  the sequential oracles byte for byte;
+* the power-iteration SLEM against the dense solver;
+* the streaming analog generators (determinism, connectivity, the
+  fast/slow mixing contrast);
+* the ``shard.*`` telemetry contract (loads/spills/resident gauges);
+* builder/open error cases.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datasets import (
+    STREAM_REGIMES,
+    build_sharded_analog,
+    stream_analog_edges,
+    stream_fingerprint,
+)
+from repro.errors import ConvergenceError, DatasetError, GraphError
+from repro.generators import complete_graph, cycle_graph
+from repro.graph import Graph, ShardedGraph
+from repro.graph.bfs_batch import bfs_distances_block, bfs_level_sizes_block
+from repro.markov.batch import (
+    batched_tvd_profile,
+    delta_block,
+    evolve_block,
+    sharded_stationary,
+)
+from repro.markov.transition import TransitionOperator
+from repro.markov.walk_batch import (
+    walk_block,
+    walk_cover_steps,
+    walk_endpoints,
+    walk_first_hits,
+    walk_visit_counts,
+)
+from repro.mixing import power_iteration_slem, slem
+from repro.store import ArtifactStore, graph_digest
+
+
+def _random_graph(n: int = 205, seed: int = 3) -> Graph:
+    """A messy random graph: hubs, duplicates and isolated nodes."""
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n - 6, size=(3 * n, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    # nodes [n-6, n) stay isolated: the engines must preserve them
+    return Graph.from_edges(edges, num_nodes=n)
+
+
+@pytest.fixture(scope="module")
+def dirty(tmp_path_factory) -> Graph:
+    return _random_graph()
+
+
+@pytest.fixture(scope="module", params=[1, 2, 3, 7])
+def sharded(request, dirty, tmp_path_factory) -> ShardedGraph:
+    root = tmp_path_factory.mktemp(f"shards{request.param}")
+    return ShardedGraph.from_graph(dirty, root, num_shards=request.param)
+
+
+class TestRoundTrip:
+    def test_to_graph_round_trips(self, dirty, sharded):
+        assert sharded.to_graph() == dirty
+        assert sharded.num_nodes == dirty.num_nodes
+        assert sharded.num_edges == dirty.num_edges
+
+    def test_degrees_match(self, dirty, sharded):
+        assert np.array_equal(sharded.degrees, dirty.degrees)
+
+    def test_open_round_trips(self, dirty, sharded):
+        reopened = ShardedGraph.open(sharded.root)
+        assert reopened.to_graph() == dirty
+        assert reopened.graph_digest == sharded.graph_digest
+
+    def test_verify_passes(self, sharded):
+        assert sharded.verify()
+
+    def test_shard_index_of(self, sharded):
+        nodes = np.arange(sharded.num_nodes)
+        owners = sharded.shard_index_of(nodes)
+        for k, (lo, hi) in enumerate(
+            zip(sharded.bounds[:-1], sharded.bounds[1:])
+        ):
+            assert np.all(owners[lo:hi] == k)
+        assert sharded.shard_index_of(sharded.num_nodes - 1) == (
+            sharded.num_shards - 1
+        )
+
+
+class TestDigestChaining:
+    def test_graph_digest_matches_store(self, dirty, sharded):
+        assert sharded.graph_digest == graph_digest(dirty)
+
+    def test_store_keys_interchange(self, dirty, sharded, tmp_path):
+        # artifacts keyed on the in-RAM graph stay valid for the shards
+        store = ArtifactStore(tmp_path / "cache")
+        params = {"seed": 0}
+        assert store.key_for(sharded.graph_digest, "spectral", params) == (
+            store.key_for(dirty, "spectral", params)
+        )
+
+    def test_from_edge_blocks_matches_from_graph(self, dirty, tmp_path):
+        # feed dirty blocks: duplicates, both orientations, self loops
+        edges = dirty.edge_array()
+        blocks = [
+            edges[: len(edges) // 2],
+            edges[len(edges) // 2 :][:, ::-1],  # reversed orientation
+            edges[:7],  # duplicates
+            np.array([[3, 3], [5, 5]]),  # self loops are dropped
+            np.empty((0, 2), dtype=np.int64),  # empty blocks are legal
+        ]
+        built = ShardedGraph.from_edge_blocks(
+            blocks, dirty.num_nodes, tmp_path / "blocks", num_shards=3
+        )
+        assert built.to_graph() == dirty
+        assert built.graph_digest == graph_digest(dirty)
+
+    def test_corruption_fails_verify(self, dirty, tmp_path):
+        sg = ShardedGraph.from_graph(dirty, tmp_path / "corrupt", num_shards=2)
+        victim = sorted(sg.root.glob("*.indices.npy"))[0]
+        data = np.load(victim)
+        data[0] = (data[0] + 1) % dirty.num_nodes
+        np.save(victim.with_suffix(""), data)
+        assert not ShardedGraph.open(sg.root).verify()
+
+
+class TestBuilderErrors:
+    def test_num_shards_and_width_are_exclusive(self, dirty, tmp_path):
+        with pytest.raises(GraphError):
+            ShardedGraph.from_graph(
+                dirty, tmp_path / "x", num_shards=2, nodes_per_shard=10
+            )
+
+    def test_negative_ids_rejected(self, tmp_path):
+        with pytest.raises(GraphError):
+            ShardedGraph.from_edge_blocks(
+                [np.array([[-1, 2]])], 5, tmp_path / "neg"
+            )
+
+    def test_out_of_range_ids_rejected(self, tmp_path):
+        with pytest.raises(GraphError):
+            ShardedGraph.from_edge_blocks(
+                [np.array([[0, 9]])], 5, tmp_path / "oob"
+            )
+
+    def test_float_block_rejected_naming_dtype(self, tmp_path):
+        with pytest.raises(GraphError, match="float64"):
+            ShardedGraph.from_edge_blocks(
+                [np.array([[0.0, 1.7]])], 5, tmp_path / "float"
+            )
+
+    def test_existing_manifest_rejected(self, dirty, tmp_path):
+        root = tmp_path / "dup"
+        ShardedGraph.from_graph(dirty, root, num_shards=2)
+        with pytest.raises(GraphError, match="already holds"):
+            ShardedGraph.from_graph(dirty, root, num_shards=2)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(GraphError, match="no sharded graph"):
+            ShardedGraph.open(tmp_path / "nothing")
+
+    def test_open_rejects_unknown_format(self, dirty, tmp_path):
+        root = tmp_path / "fmt"
+        ShardedGraph.from_graph(dirty, root, num_shards=1)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["format"] = 999
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(GraphError):
+            ShardedGraph.open(root)
+
+
+@pytest.mark.parametrize("chunk_size", [None, 3])
+@pytest.mark.parametrize("workers", [None, 2])
+class TestEngineBitIdentity:
+    """Every engine on shards must equal the in-RAM engine exactly."""
+
+    def test_tvd_profile(self, dirty, sharded, chunk_size, workers):
+        op = TransitionOperator(dirty)
+        sources = [0, 5, 17, 17, 100, dirty.num_nodes - 1]
+        lengths = [0, 1, 2, 5, 9]
+        expected = batched_tvd_profile(
+            op.matrix, op.stationary, sources, lengths
+        )
+        got = batched_tvd_profile(
+            sharded,
+            sharded_stationary(sharded),
+            sources,
+            lengths,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_bfs_level_sizes(self, dirty, sharded, chunk_size, workers):
+        sources = [0, 3, 50, 200]
+        expected = bfs_level_sizes_block(dirty, sources)
+        got = bfs_level_sizes_block(
+            sharded, sources, chunk_size=chunk_size, workers=workers
+        )
+        assert np.array_equal(got, expected)
+
+    def test_bfs_distances(self, dirty, sharded, chunk_size, workers):
+        sources = [0, 7, 120]
+        expected = bfs_distances_block(dirty, sources)
+        got = bfs_distances_block(
+            sharded, sources, chunk_size=chunk_size, workers=workers
+        )
+        assert np.array_equal(got, expected)
+
+    def test_walk_block(self, dirty, sharded, chunk_size, workers):
+        sources = [0, 9, 44, 180]
+        expected = walk_block(dirty, sources, length=12, seed=5)
+        got = walk_block(
+            sharded,
+            sources,
+            length=12,
+            seed=5,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_walk_endpoints(self, dirty, sharded, chunk_size, workers):
+        sources = np.arange(0, 200, 13)
+        expected = walk_endpoints(dirty, sources, length=9, seed=1)
+        got = walk_endpoints(
+            sharded,
+            sources,
+            length=9,
+            seed=1,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_walk_first_hits(self, dirty, sharded, chunk_size, workers):
+        mask = np.zeros(dirty.num_nodes, dtype=bool)
+        mask[::11] = True
+        sources = [1, 6, 30, 77]
+        expected = walk_first_hits(dirty, sources, 15, mask, seed=2)
+        got = walk_first_hits(
+            sharded,
+            sources,
+            15,
+            mask,
+            seed=2,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("record", ["all", "last"])
+    def test_walk_visit_counts(
+        self, dirty, sharded, chunk_size, workers, record
+    ):
+        sources = [0, 2, 90]
+        expected = walk_visit_counts(dirty, sources, 10, seed=3, record=record)
+        got = walk_visit_counts(
+            sharded,
+            sources,
+            10,
+            seed=3,
+            record=record,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_walk_cover_steps(self, dirty, sharded, chunk_size, workers):
+        sources = [0, 40]
+        expected = walk_cover_steps(dirty, sources, max_steps=60, seed=4)
+        got = walk_cover_steps(
+            sharded,
+            sources,
+            max_steps=60,
+            seed=4,
+            chunk_size=chunk_size,
+            workers=workers,
+        )
+        assert np.array_equal(got, expected)
+
+
+class TestSequentialOracle:
+    """The scalar oracles must agree with the batched sharded engine."""
+
+    @pytest.mark.parametrize(
+        "fn,kwargs",
+        [
+            (walk_block, {"length": 8}),
+            (walk_endpoints, {"length": 8}),
+            (walk_cover_steps, {"max_steps": 40}),
+        ],
+    )
+    def test_batched_equals_sequential_on_shards(self, sharded, fn, kwargs):
+        sources = [0, 11, 63]
+        batched = fn(sharded, sources, seed=9, **kwargs)
+        sequential = fn(
+            sharded, sources, seed=9, strategy="sequential", **kwargs
+        )
+        assert np.array_equal(batched, sequential)
+
+    def test_first_hits_batched_equals_sequential(self, sharded):
+        mask = np.zeros(sharded.num_nodes, dtype=bool)
+        mask[::17] = True
+        sources = [1, 29, 84]
+        batched = walk_first_hits(sharded, sources, 20, mask, seed=9)
+        sequential = walk_first_hits(
+            sharded, sources, 20, mask, seed=9, strategy="sequential"
+        )
+        assert np.array_equal(batched, sequential)
+
+
+class TestEvolveBlock:
+    def test_matches_in_ram_product(self, dirty, sharded):
+        op = TransitionOperator(dirty)
+        block = delta_block(dirty.num_nodes, [0, 8, 150])
+        expected = evolve_block(op.matrix, block, steps=6)
+        got = evolve_block(sharded, block, steps=6)
+        assert np.array_equal(got, expected)
+
+    def test_does_not_mutate_input(self, sharded):
+        block = delta_block(sharded.num_nodes, [0, 5])
+        before = block.copy()
+        evolve_block(sharded, block, steps=3)
+        assert np.array_equal(block, before)
+
+    def test_isolated_nodes_absorb(self, sharded):
+        # the merged in-RAM P gives isolated nodes unit self loops;
+        # the sharded evolution must reproduce that absorption exactly
+        isolated = int(np.flatnonzero(sharded.degrees == 0)[0])
+        block = delta_block(sharded.num_nodes, [isolated])
+        out = evolve_block(sharded, block, steps=4)
+        assert out[isolated, 0] == 1.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_bad_shape_rejected(self, sharded):
+        with pytest.raises(GraphError):
+            evolve_block(sharded, np.zeros((3, 2)), steps=1)
+
+    def test_empty_sources_profile(self, sharded):
+        tvd = batched_tvd_profile(
+            sharded, sharded_stationary(sharded), [], [1, 2]
+        )
+        assert tvd.shape == (0, 2)
+
+
+class TestPowerIterationSlem:
+    def test_matches_dense_complete_graph(self):
+        g = complete_graph(6)
+        assert power_iteration_slem(g) == pytest.approx(slem(g), abs=1e-9)
+
+    def test_matches_dense_odd_cycle(self, c7):
+        assert power_iteration_slem(c7) == pytest.approx(slem(c7), abs=1e-9)
+
+    def test_bipartite_even_cycle_is_one(self):
+        # C8 has eigenvalue -1; squaring the operator must still find it
+        assert power_iteration_slem(cycle_graph(8)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_matches_dense_random_graph(self, ba_small):
+        assert power_iteration_slem(ba_small) == pytest.approx(
+            slem(ba_small), abs=1e-8
+        )
+
+    def test_sharded_dispatch(self, ba_small, tmp_path):
+        sg = ShardedGraph.from_graph(ba_small, tmp_path / "slem", num_shards=3)
+        mu = slem(sg)
+        assert mu == pytest.approx(slem(ba_small), abs=1e-8)
+        assert mu == pytest.approx(power_iteration_slem(sg), abs=1e-12)
+
+    def test_disconnected_sharded_rejected(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        sg = ShardedGraph.from_graph(g, tmp_path / "disc", num_shards=2)
+        with pytest.raises(GraphError, match="disconnected"):
+            slem(sg)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphError):
+            power_iteration_slem(Graph.empty(1))
+
+    def test_nonconvergence_raises(self, ba_small):
+        with pytest.raises(ConvergenceError):
+            power_iteration_slem(ba_small, tol=0.0, max_iterations=3)
+
+
+class TestStreamingAnalogs:
+    def test_streams_are_deterministic(self):
+        a = list(stream_analog_edges(5000, "fast", seed=4, block_nodes=1024))
+        b = list(stream_analog_edges(5000, "fast", seed=4, block_nodes=1024))
+        assert len(a) == len(b) == 5
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_fingerprint_identifies_stream(self):
+        base = stream_fingerprint(5000, "fast", seed=4)
+        assert base == stream_fingerprint(5000, "fast", seed=4)
+        assert base != stream_fingerprint(5000, "fast", seed=5)
+        assert base != stream_fingerprint(5000, "slow", seed=4)
+        assert base != stream_fingerprint(5001, "fast", seed=4)
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(DatasetError):
+            list(stream_analog_edges(100, "medium"))
+        with pytest.raises(DatasetError):
+            stream_fingerprint(100, "medium")
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            list(stream_analog_edges(0, "fast"))
+        with pytest.raises(DatasetError):
+            list(stream_analog_edges(10, "fast", block_nodes=0))
+
+    @pytest.mark.parametrize("regime", sorted(STREAM_REGIMES))
+    def test_built_analogs_are_connected(self, regime, tmp_path):
+        sg = build_sharded_analog(
+            tmp_path / regime, 6000, regime=regime, seed=1, num_shards=3
+        )
+        assert sg.num_nodes == 6000
+        distances = bfs_distances_block(sg, [0])[0]
+        assert np.all(distances >= 0)
+
+    def test_fast_slow_mixing_contrast(self, tmp_path):
+        # 3 slow communities of 4096 vs the hub-attachment fast analog:
+        # worst-source TVD at t=8 separates the regimes cleanly
+        n = 3 * 4096
+        sources = [0, n // 2, n - 1]
+        profiles = {}
+        for regime in ("fast", "slow"):
+            sg = build_sharded_analog(
+                tmp_path / regime, n, regime=regime, seed=0, num_shards=4
+            )
+            tvd = batched_tvd_profile(
+                sg, sharded_stationary(sg), sources, [8]
+            )
+            profiles[regime] = float(tvd.max())
+        assert profiles["fast"] < 0.1
+        assert profiles["slow"] > 0.3
+
+
+class TestShardTelemetry:
+    def test_lru_loads_and_spills(self, dirty, tmp_path):
+        sg = ShardedGraph.from_graph(
+            dirty, tmp_path / "lru", num_shards=4, max_resident_shards=1
+        )
+        with telemetry.activate() as tel:
+            for _ in range(2):
+                for shard in sg.iter_shards():
+                    assert shard.num_rows > 0
+        assert tel.counter("shard.loads") == 8
+        assert tel.counter("shard.spills") == 7
+        assert tel.gauges["shard.resident_bytes"] > 0
+        assert tel.gauges["shard.peak_resident_bytes"] > 0
+
+    def test_warm_cache_loads_once(self, dirty, tmp_path):
+        sg = ShardedGraph.from_graph(dirty, tmp_path / "warm", num_shards=3)
+        with telemetry.activate() as tel:
+            for _ in range(3):
+                list(sg.iter_shards())
+        assert tel.counter("shard.loads") == 3
+        assert tel.counter("shard.spills") == 0
+
+    def test_build_span_and_edge_counts(self, dirty, tmp_path):
+        with telemetry.activate() as tel:
+            ShardedGraph.from_graph(dirty, tmp_path / "built", num_shards=2)
+        assert tel.spans["shard.build"].count == 1
+        assert tel.counter("shard.build.edges") > 0
