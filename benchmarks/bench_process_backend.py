@@ -1,0 +1,165 @@
+"""Process backend vs thread backend: bit-identity proof + speedup gate.
+
+The tentpole demonstration for :mod:`repro.parallel`: the same batch
+engines, same seeds, same chunk grid — dispatched once to the thread
+pool and once to the process pool over the shared-memory graph plane —
+must agree byte for byte with the sequential oracle, and the process
+backend must actually buy wall-clock time on a GIL-bound workload when
+the machine has cores to spend.
+
+The speedup workload is the small-chunk TVD profile: scipy's sparse
+matmul holds the GIL, so the thread pool serializes while the process
+pool scales with cores.  The ``>= 2x`` floor is asserted only on
+machines with at least 4 usable cores (CI runners qualify); below that
+the measured ratio is reported but not gated, so the benchmark stays
+meaningful on laptops and constrained containers.
+
+The run is recorded through :mod:`repro.telemetry` and published as one
+merged metrics document — parent dispatch counters (``parallel.*``),
+fan-out counters (``chunking.*``) and the child processes' engine spans
+all land in the same JSON, which the CI step asserts against.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import publish, publish_metrics
+
+from repro import parallel, telemetry
+from repro.analysis import format_table
+from repro.chunking import default_workers
+from repro.datasets import load_dataset
+from repro.markov.batch import batched_tvd_profile
+from repro.markov.transition import TransitionOperator
+from repro.markov.walk_batch import walk_endpoints
+from repro.sybil.fusion import loopy_belief_propagation
+
+#: The speedup workload must be big enough to be compute-bound; the
+#: identity checks reuse whatever scale the session is running at.
+SPEEDUP_SCALE = 0.2
+
+WALK_LENGTHS = [4, 8, 16, 32, 64, 128, 256, 512]
+TVD_CHUNK = 8
+NUM_SOURCES = 128
+
+#: Wall-clock floor thread/process, by usable core count.  One core
+#: cannot speed anything up; 2-3 cores get a soft floor (spawn and
+#: dispatch overhead eat a larger share); 4+ must hit the 2x contract.
+def _speedup_floor(cores: int) -> float | None:
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.2
+    return None
+
+
+def _bit_identity_lines(scale: float, num_sources: int) -> list[str]:
+    """Sequential oracle == thread == process, across the engines."""
+    graph = load_dataset("wiki_vote", scale=max(scale, 0.1), seed=0)
+    op = TransitionOperator(graph)
+    rng = np.random.default_rng(1)
+    sources = np.sort(
+        rng.choice(graph.num_nodes, size=min(num_sources, 24), replace=False)
+    )
+    lengths = [1, 2, 4, 8]
+    lines = []
+
+    oracle = batched_tvd_profile(op.matrix, op.stationary, sources, lengths)
+    for executor in ("thread", "process"):
+        out = batched_tvd_profile(
+            op.matrix, op.stationary, sources, lengths,
+            chunk_size=3, workers=4, executor=executor,
+        )
+        assert np.array_equal(out, oracle), executor
+    lines.append("bit-identity: PASS tvd (sequential == thread == process)")
+
+    walks = walk_endpoints(graph, sources, length=16, seed=7, strategy="sequential")
+    for executor in ("thread", "process"):
+        out = walk_endpoints(
+            graph, sources, length=16, seed=7,
+            chunk_size=5, workers=4, executor=executor,
+        )
+        assert np.array_equal(out, walks), executor
+    lines.append("bit-identity: PASS walks (sequential == thread == process)")
+
+    priors = rng.uniform(0.05, 0.95, graph.num_nodes)
+    bp_oracle = loopy_belief_propagation(graph, priors, max_rounds=10)
+    for executor in ("thread", "process"):
+        bp = loopy_belief_propagation(
+            graph, priors, max_rounds=10,
+            chunk_size=257, workers=4, executor=executor,
+        )
+        assert np.array_equal(bp.beliefs, bp_oracle.beliefs), executor
+        assert bp.rounds == bp_oracle.rounds
+    lines.append("bit-identity: PASS loopy-bp (sequential == thread == process)")
+    return lines
+
+
+def _timed_tvd(op, sources, workers: int, executor: str) -> float:
+    start = time.perf_counter()
+    batched_tvd_profile(
+        op.matrix, op.stationary, sources, WALK_LENGTHS,
+        chunk_size=TVD_CHUNK, workers=workers, executor=executor,
+    )
+    return time.perf_counter() - start
+
+
+def test_process_backend(results_dir, scale, num_sources):
+    lines = _bit_identity_lines(scale, num_sources)
+
+    cores = default_workers()
+    graph = load_dataset("wiki_vote", scale=max(scale, SPEEDUP_SCALE), seed=0)
+    op = TransitionOperator(graph)
+    rng = np.random.default_rng(2)
+    sources = np.sort(
+        rng.choice(graph.num_nodes, size=NUM_SOURCES, replace=False)
+    )
+
+    # warm both pools (and the shared-memory plane) outside the clock
+    _timed_tvd(op, sources, cores, "thread")
+    _timed_tvd(op, sources, max(cores, 2), "process")
+
+    thread_s = _timed_tvd(op, sources, cores, "thread")
+    with telemetry.activate() as tel:
+        process_s = _timed_tvd(op, sources, max(cores, 2), "process")
+    speedup = thread_s / process_s if process_s > 0 else float("inf")
+
+    floor = _speedup_floor(cores)
+    if floor is not None:
+        assert speedup >= floor, (
+            f"process backend {speedup:.2f}x on {cores} cores "
+            f"(floor {floor:.1f}x): thread {thread_s:.3f}s, "
+            f"process {process_s:.3f}s"
+        )
+        verdict = f"speedup-gate: PASS ({speedup:.2f}x >= {floor:.1f}x on {cores} cores)"
+    else:
+        verdict = f"speedup-gate: SKIPPED (1 usable core; measured {speedup:.2f}x)"
+
+    counters = tel.counters
+    assert counters["parallel.process_runs"] >= 1
+    assert counters["parallel.tasks"] >= 2
+    assert counters["chunking.chunks"] == counters["parallel.tasks"]
+    assert counters["chunking.busy_seconds"] > 0
+    assert tel.spans["chunking.chunk"].count == counters["parallel.tasks"]
+
+    rows = [
+        ["thread", cores, f"{thread_s:.3f}"],
+        ["process", max(cores, 2), f"{process_s:.3f}"],
+    ]
+    table = format_table(
+        ["backend", "workers", "seconds"],
+        rows,
+        title=(
+            f"Process backend (wiki_vote scale>={SPEEDUP_SCALE}, "
+            f"{NUM_SOURCES} sources, chunk {TVD_CHUNK}, "
+            f"lengths<= {WALK_LENGTHS[-1]})"
+        ),
+    )
+    text = "\n".join(
+        lines + [f"speedup {speedup:.2f}x", verdict, "", table]
+    )
+    publish(results_dir, "process_backend", text)
+    publish_metrics(results_dir, "process_backend_metrics", tel)
+    parallel.shutdown()

@@ -7,8 +7,11 @@ contiguous chunks: ``chunk_size`` bounds the per-chunk working set at
 ``O(n * chunk_size)``, and ``workers`` optionally fans the chunks out
 over a thread pool.  Chunks are independent and write into disjoint
 pre-allocated slices, so results are deterministic regardless of
-scheduling.  Threads (not processes) are used because the shared graph
-or matrix would otherwise be pickled per worker.
+scheduling.  This runner uses threads: the shared graph or matrix is
+free to share and the pool is free to start.  When per-chunk Python
+time is GIL-bound, the engines' ``executor="process"`` knob dispatches
+the same chunk plan to :mod:`repro.parallel` instead, which shares the
+graph through a shared-memory plane rather than pickling it per worker.
 
 This module holds the one chunk planner and runner both engines share,
 so the two engines stay API-identical by construction.
@@ -21,10 +24,16 @@ source set fall through to an empty result instead of crashing.
 Fan-out reports into :mod:`repro.telemetry`: per-chunk spans
 (``chunking.chunk``), chunk and source counters, and a worker
 utilization gauge (busy time across the pool / pool size x elapsed).
+Busy time for the gauge is accumulated *per run* — two overlapping
+parallel runs sharing one registry must not see each other's busy
+deltas — while the global ``chunking.busy_seconds`` counter still sums
+across runs.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
@@ -32,13 +41,37 @@ from typing import Callable
 from repro import telemetry
 from repro.errors import GraphError
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "resolve_chunks", "run_chunks"]
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "default_workers",
+    "resolve_chunks",
+    "run_chunks",
+]
 
 #: Default number of source columns processed per chunk.  Bounds the
 #: dense working set (8 bytes/entry for walk blocks, 1-8 bytes for BFS
 #: state) at a few MB per thousand nodes while keeping the sparse
 #: structure amortized over many columns.
 DEFAULT_CHUNK_SIZE = 128
+
+#: Cap on :func:`default_workers` — past this, per-worker dispatch and
+#: merge overhead dominates on every workload the repo runs.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers(cap: int = MAX_DEFAULT_WORKERS) -> int:
+    """Worker count derived from the machine, for callers with no opinion.
+
+    Uses the scheduling affinity mask when the platform exposes one
+    (containers often grant fewer cores than ``os.cpu_count`` reports),
+    capped at ``cap``; always at least 1.  The CLI and the benchmarks
+    use this instead of hard-coded worker counts.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return max(1, min(available, cap))
 
 
 def resolve_chunks(
@@ -91,8 +124,14 @@ def run_chunks(
     if not chunks:
         return
     tel = telemetry.current()
+    # Per-run busy accumulator: the utilization gauge must be computed
+    # from *this run's* busy time only.  Snapshotting the cumulative
+    # ``chunking.busy_seconds`` counter (the previous scheme) interleaved
+    # the deltas of two overlapping parallel runs sharing one registry,
+    # corrupting both gauges.
+    busy = _BusyAccumulator()
     if tel.enabled:
-        run_chunk = _instrumented(tel, run_chunk, span)
+        run_chunk = _instrumented(tel, run_chunk, span, busy)
         tel.count("chunking.chunks", len(chunks))
         tel.count("chunking.sources", sum(c.stop - c.start for c in chunks))
     if workers is None or workers == 1 or len(chunks) == 1:
@@ -100,29 +139,39 @@ def run_chunks(
             run_chunk(columns)
         return
     pool_size = min(workers, len(chunks))
-    # Snapshot the cumulative busy counter so the utilization gauge is
-    # computed from this run's delta only — reading the raw counter
-    # pinned the gauge near the 1.0 clamp on every run after the first.
-    busy_before = tel.counter("chunking.busy_seconds") if tel.enabled else 0.0
     start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=pool_size) as pool:
         # list() re-raises the first chunk failure, if any.
         list(pool.map(run_chunk, chunks))
     if tel.enabled:
         elapsed = time.perf_counter() - start
-        busy = tel.counter("chunking.busy_seconds") - busy_before
         tel.count("chunking.parallel_runs")
         if elapsed > 0:
             tel.gauge(
                 "chunking.worker_utilization",
-                min(1.0, busy / (pool_size * elapsed)) if busy else 0.0,
+                min(1.0, busy.total / (pool_size * elapsed)) if busy.total else 0.0,
             )
+
+
+class _BusyAccumulator:
+    """Lock-guarded per-run busy-seconds total (exact under the pool)."""
+
+    __slots__ = ("_lock", "total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0.0
+
+    def add(self, seconds: float) -> None:
+        with self._lock:
+            self.total += seconds
 
 
 def _instrumented(
     tel: telemetry.Telemetry,
     run_chunk: Callable[[slice], None],
     span: str | None,
+    busy: _BusyAccumulator,
 ) -> Callable[[slice], None]:
     """Wrap a chunk job with a per-chunk span and busy-time accounting."""
 
@@ -133,6 +182,8 @@ def _instrumented(
         else:
             with tel.span(span):
                 run_chunk(columns)
-        tel.count("chunking.busy_seconds", time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        busy.add(elapsed)
+        tel.count("chunking.busy_seconds", elapsed)
 
     return timed

@@ -87,6 +87,8 @@ from repro.mixing import (
     slem,
 )
 from repro import telemetry
+from repro.chunking import default_workers
+from repro.parallel import EXECUTORS
 from repro.pipeline import fusion_comparison_pipeline, paper_measurement_pipeline
 from repro.store import ArtifactStore, memoize
 
@@ -96,6 +98,15 @@ __all__ = ["main"]
 def _store_from(args: argparse.Namespace) -> ArtifactStore | None:
     cache_dir = getattr(args, "cache_dir", None)
     return ArtifactStore(cache_dir) if cache_dir else None
+
+
+def _workers_from(args: argparse.Namespace) -> int | None:
+    """Resolve ``--workers``, defaulting to the core count when a
+    non-thread executor was requested without an explicit fan-out."""
+    workers = getattr(args, "workers", None)
+    if workers is None and getattr(args, "executor", None) in ("process", "auto"):
+        return default_workers()
+    return workers
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -472,7 +483,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_sources=args.sources,
         store=store,
-        workers=args.workers,
+        workers=_workers_from(args),
+        executor=args.executor,
     )
     if args.pipeline_command == "stages":
         rows = [
@@ -523,7 +535,8 @@ def _cmd_sybil(args: argparse.Namespace) -> int:
         topology=args.topology,
         suspect_sample=args.suspect_sample,
         store=_store_from(args),
-        workers=args.workers,
+        workers=_workers_from(args),
+        executor=args.executor,
     )
     result = pipeline.run()
     report = result.results["report"]
@@ -577,7 +590,8 @@ def _cmd_privacy(args: argparse.Namespace) -> int:
         suspect_sample=args.suspect_sample,
         num_sources=args.sources,
         store=_store_from(args),
-        workers=args.workers,
+        workers=_workers_from(args),
+        executor=args.executor,
     )
     result = pipeline.run()
     frontier = result.results["frontier"]
@@ -833,6 +847,13 @@ def main(argv: list[str] | None = None) -> int:
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--sources", type=int, default=50)
         cmd.add_argument("--workers", type=int)
+        cmd.add_argument(
+            "--executor",
+            choices=EXECUTORS,
+            help="batch-engine backend: threads share the GIL, processes "
+            "fan chunks out over a shared-memory graph plane "
+            "(default workers: one per core)",
+        )
         cmd.add_argument("--cache-dir", help=cache_help)
         cmd.add_argument(
             "--stages",
@@ -866,6 +887,11 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--suspect-sample", type=int, default=120)
     compare.add_argument("--workers", type=int)
+    compare.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        help="batch-engine backend (thread, process, or auto)",
+    )
     compare.add_argument("--cache-dir", help=cache_help)
     privacy = sub.add_parser(
         "privacy",
@@ -902,6 +928,11 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--sources", type=int, default=50)
     sweep.add_argument("--suspect-sample", type=int, default=120)
     sweep.add_argument("--workers", type=int)
+    sweep.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        help="batch-engine backend (thread, process, or auto)",
+    )
     sweep.add_argument("--cache-dir", help=cache_help)
     serve = sub.add_parser(
         "serve",

@@ -30,17 +30,22 @@ Outputs never materialize per-level node lists:
 Both take ``chunk_size`` (memory bound ``O(n * chunk_size)``) and
 ``workers`` (thread fan-out over source chunks) with the exact semantics
 of the PR-1 walk engine (:mod:`repro.markov.batch`); the chunk planner
-and runner are shared via :mod:`repro.chunking`.
+and runner are shared via :mod:`repro.chunking`, and
+``executor="process"`` routes the same chunk kernel through the
+shared-memory process backend of :mod:`repro.parallel` (the CSR arrays
+are published once; workers rebuild the float32 adjacency from the
+shared index arrays, so results stay bit-identical).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import OrderedDict
+from typing import Any, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro import telemetry
+from repro import parallel, telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 from repro.graph.core import Graph
@@ -115,6 +120,61 @@ def _frontier_apply(graph: Graph | ShardedGraph):
     return _adjacency_operator(graph).dot
 
 
+#: Worker-side cache of frontier operators, keyed by graph digest — the
+#: float32 adjacency is O(m) to build, and a warm pool runs many chunks
+#: against the same resolved graph.
+_apply_cache: "OrderedDict[str, tuple[Any, Any]]" = OrderedDict()
+
+
+def _cached_frontier_apply(ref: Any, graph: Graph | ShardedGraph):
+    digest = getattr(ref, "digest", None)
+    if digest is None:
+        return _frontier_apply(graph)
+    cached = _apply_cache.get(digest)
+    if cached is not None and cached[0] is graph:
+        _apply_cache.move_to_end(digest)
+        return cached[1]
+    apply_adjacency = _frontier_apply(graph)
+    _apply_cache[digest] = (graph, apply_adjacency)
+    while len(_apply_cache) > 4:
+        _apply_cache.popitem(last=False)
+    return apply_adjacency
+
+
+def _bfs_level_process_chunk(payload: dict, columns: slice) -> np.ndarray:
+    """Process-backend chunk task: return the chunk's level-size block."""
+    ref = payload["graph"]
+    graph = parallel.resolve(ref)
+    tel = telemetry.current()
+    with tel.span("graph.bfs.frontier_chunk"):
+        block = _bfs_chunk(
+            _cached_frontier_apply(ref, graph),
+            graph.num_nodes,
+            payload["sources"][columns],
+            payload["max_levels"],
+            None,
+        )
+    tel.count("graph.bfs.levels", int(block.shape[1]))
+    return block
+
+
+def _bfs_distances_process_chunk(payload: dict, columns: slice) -> None:
+    """Process-backend chunk task: fill the chunk's shared distance rows."""
+    ref = payload["graph"]
+    graph = parallel.resolve(ref)
+    out = parallel.resolve(payload["out"])
+    tel = telemetry.current()
+    with tel.span("graph.bfs.frontier_chunk"):
+        block = _bfs_chunk(
+            _cached_frontier_apply(ref, graph),
+            graph.num_nodes,
+            payload["sources"][columns],
+            None,
+            out[columns],
+        )
+    tel.count("graph.bfs.levels", int(block.shape[1]))
+
+
 def _bfs_chunk(
     apply_adjacency,
     num_nodes: int,
@@ -162,6 +222,7 @@ def bfs_level_sizes_block(
     chunk_size: int | None = None,
     workers: int | None = None,
     max_levels: int | None = None,
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return the ``(len(sources), L)`` matrix of BFS level sizes.
 
@@ -182,25 +243,39 @@ def bfs_level_sizes_block(
     chosen = validate_sources(graph.num_nodes, sources)
     if max_levels is not None and max_levels < 0:
         raise GraphError("max_levels must be non-negative")
+    kind, workers = parallel.resolve_execution(executor, workers)
     tel = telemetry.current()
     with tel.span("graph.bfs.level_sizes"):
         tel.count("graph.bfs.sources", int(chosen.size))
         chunks = resolve_chunks(chosen.size, chunk_size, workers)
-        chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
-        apply_adjacency = _frontier_apply(graph)
-        results: list[np.ndarray | None] = [None] * len(chunks)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            blocks = parallel.run_process_chunks(
+                _bfs_level_process_chunk,
+                {
+                    "graph": parallel.publish(graph),
+                    "sources": chosen,
+                    "max_levels": max_levels,
+                },
+                chunks,
+                workers,
+            )
+        else:
+            chunk_index = {(c.start, c.stop): i for i, c in enumerate(chunks)}
+            apply_adjacency = _frontier_apply(graph)
+            results: list[np.ndarray | None] = [None] * len(chunks)
 
-        def run_chunk(columns: slice) -> None:
-            with tel.span("graph.bfs.frontier_chunk"):
-                block = _bfs_chunk(
-                    apply_adjacency, graph.num_nodes, chosen[columns], max_levels,
-                    None,
-                )
-            results[chunk_index[(columns.start, columns.stop)]] = block
-            tel.count("graph.bfs.levels", int(block.shape[1]))
+            def run_chunk(columns: slice) -> None:
+                with tel.span("graph.bfs.frontier_chunk"):
+                    block = _bfs_chunk(
+                        apply_adjacency, graph.num_nodes, chosen[columns],
+                        max_levels, None,
+                    )
+                results[chunk_index[(columns.start, columns.stop)]] = block
+                tel.count("graph.bfs.levels", int(block.shape[1]))
 
-        run_chunks(run_chunk, chunks, workers)
-        blocks = [block for block in results if block is not None]
+            run_chunks(run_chunk, chunks, workers)
+            blocks = results
+        blocks = [block for block in blocks if block is not None]
         width = max(block.shape[1] for block in blocks)
         out = np.zeros((chosen.size, width), dtype=np.int64)
         for columns, block in zip(chunks, blocks):
@@ -213,6 +288,7 @@ def bfs_distances_block(
     sources: np.ndarray | Sequence[int],
     chunk_size: int | None = None,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return the ``(len(sources), n)`` hop-distance matrix.
 
@@ -224,10 +300,29 @@ def bfs_distances_block(
     set.
     """
     chosen = validate_sources(graph.num_nodes, sources)
+    kind, workers = parallel.resolve_execution(executor, workers)
     tel = telemetry.current()
     with tel.span("graph.bfs.distances"):
         tel.count("graph.bfs.sources", int(chosen.size))
         chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            out_spec, out_view = parallel.create_output(
+                (chosen.size, graph.num_nodes), np.int64, fill=_UNREACHED
+            )
+            try:
+                parallel.run_process_chunks(
+                    _bfs_distances_process_chunk,
+                    {
+                        "graph": parallel.publish(graph),
+                        "sources": chosen,
+                        "out": out_spec,
+                    },
+                    chunks,
+                    workers,
+                )
+                return np.array(out_view)
+            finally:
+                parallel.release([out_spec])
         apply_adjacency = _frontier_apply(graph)
         out = np.full((chosen.size, graph.num_nodes), _UNREACHED, dtype=np.int64)
 

@@ -34,6 +34,12 @@ pins.  Chunking goes through the shared planner
 (:mod:`repro.chunking`); every chunk reports per-block spans and the
 ``markov.walk.walks`` / ``markov.walk.steps`` /
 ``markov.walk.absorbed`` counters into :mod:`repro.telemetry`.
+
+``executor="process"`` ships each chunk's seed streams (generator
+state pickles exactly) to the shared-memory process backend of
+:mod:`repro.parallel`; the chunk kernels are the same module-level
+functions the thread closures call, so the bit-identity contract
+extends across the whole executor grid.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import parallel, telemetry
 from repro.chunking import DEFAULT_CHUNK_SIZE, resolve_chunks, run_chunks
 from repro.errors import GraphError
 from repro.graph.core import Graph
@@ -235,6 +241,174 @@ def _stepper(graph: "Graph | ShardedGraph") -> "_DenseStepper | _ShardedStepper"
 
 
 # ----------------------------------------------------------------------
+# per-chunk kernels (shared verbatim by the thread and process backends)
+# ----------------------------------------------------------------------
+def _block_chunk(stepper, states, streams, length, out_block) -> None:
+    """Advance one chunk, recording every position into ``out_block``."""
+    out_block[:, 0] = states
+    step = 0
+    while step < length:
+        count = min(_STEP_BLOCK, length - step)
+        u = _uniform_block(streams, count)
+        for t in range(count):
+            states = stepper.advance(states, u[:, t])
+            out_block[:, step + t + 1] = states
+        step += count
+
+
+def _endpoints_chunk(stepper, states, streams, length) -> np.ndarray:
+    """Advance one chunk ``length`` steps; return the final states."""
+    step = 0
+    while step < length:
+        count = min(_STEP_BLOCK, length - step)
+        u = _uniform_block(streams, count)
+        for t in range(count):
+            states = stepper.advance(states, u[:, t])
+        step += count
+    return states
+
+
+def _first_hits_chunk(
+    stepper, states, streams, length, hit_mask
+) -> tuple[np.ndarray, int]:
+    """First-hit steps for one chunk; returns ``(hits, steps taken)``."""
+    hits = np.full(states.size, NO_HIT, dtype=np.int64)
+    hits[hit_mask[states]] = 0
+    alive = hits == NO_HIT
+    step = 0
+    steps_taken = 0
+    while step < length and alive.any():
+        count = min(_STEP_BLOCK, length - step)
+        u = _uniform_block(streams, count)
+        for t in range(count):
+            states = stepper.advance(states, u[:, t])
+            steps_taken += states.size
+            newly = alive & hit_mask[states]
+            if newly.any():
+                hits[newly] = step + t + 1
+                alive &= ~newly
+                if not alive.any():
+                    break
+        step += count
+    return hits, steps_taken
+
+
+def _visit_chunk(stepper, states, streams, length, record, n) -> np.ndarray:
+    """Per-node visit counts contributed by one chunk."""
+    local = np.zeros(n, dtype=np.int64)
+    if record == "all":
+        local += np.bincount(states, minlength=n)
+    step = 0
+    while step < length:
+        count = min(_STEP_BLOCK, length - step)
+        u = _uniform_block(streams, count)
+        for t in range(count):
+            states = stepper.advance(states, u[:, t])
+            if record == "all":
+                local += np.bincount(states, minlength=n)
+        step += count
+    if record == "last":
+        local += np.bincount(states, minlength=n)
+    return local
+
+
+def _cover_chunk(
+    stepper, states, streams, max_steps, n
+) -> tuple[np.ndarray, int]:
+    """Cover steps for one chunk; returns ``(covered, steps taken)``."""
+    k = states.size
+    rows = np.arange(k)
+    visited = np.zeros((k, n), dtype=bool)
+    visited[rows, states] = True
+    remaining = np.full(k, n - 1, dtype=np.int64)
+    covered = np.full(k, NO_HIT, dtype=np.int64)
+    if n == 1:
+        covered[:] = 0
+    alive = covered == NO_HIT
+    step = 0
+    steps_taken = 0
+    while step < max_steps and alive.any():
+        count = min(_STEP_BLOCK, max_steps - step)
+        u = _uniform_block(streams, count)
+        for t in range(count):
+            states = stepper.advance(states, u[:, t])
+            steps_taken += k
+            newly = alive & ~visited[rows, states]
+            visited[rows[newly], states[newly]] = True
+            remaining[newly] -= 1
+            done = newly & (remaining == 0)
+            if done.any():
+                covered[done] = step + t + 1
+                alive &= ~done
+                if not alive.any():
+                    break
+        step += count
+    return covered, steps_taken
+
+
+def _walk_process_chunk(payload: dict, columns: slice) -> np.ndarray | None:
+    """Process-backend chunk task dispatching on walk mode.
+
+    ``states``/``streams`` arrive per chunk (seed streams pickle their
+    exact generator state); outputs land in the shared buffer except
+    for ``visit`` partial counts, which are returned for the parent to
+    sum (integer addition commutes, so merge order cannot matter).
+    """
+    graph = parallel.resolve(payload["graph"])
+    stepper = _stepper(graph)
+    states = payload["states"]
+    streams = payload["streams"]
+    mode = payload["mode"]
+    tel = telemetry.current()
+    result = None
+    with tel.span("markov.walk.chunk"):
+        if mode == "block":
+            out = parallel.resolve(payload["out"])
+            _block_chunk(stepper, states, streams, payload["length"], out[columns])
+            steps = states.size * payload["length"]
+        elif mode == "endpoints":
+            out = parallel.resolve(payload["out"])
+            out[columns] = _endpoints_chunk(
+                stepper, states, streams, payload["length"]
+            )
+            steps = states.size * payload["length"]
+        elif mode == "first_hits":
+            out = parallel.resolve(payload["out"])
+            hit_mask = parallel.resolve(payload["mask"])
+            hits, steps = _first_hits_chunk(
+                stepper, states, streams, payload["length"], hit_mask
+            )
+            out[columns] = hits
+            tel.count("markov.walk.absorbed", int(np.count_nonzero(hits != NO_HIT)))
+        elif mode == "visit":
+            result = _visit_chunk(
+                stepper, states, streams, payload["length"], payload["record"],
+                graph.num_nodes,
+            )
+            steps = states.size * payload["length"]
+        else:  # cover
+            out = parallel.resolve(payload["out"])
+            covered, steps = _cover_chunk(
+                stepper, states, streams, payload["max_steps"], graph.num_nodes
+            )
+            out[columns] = covered
+            tel.count(
+                "markov.walk.absorbed", int(np.count_nonzero(covered != NO_HIT))
+            )
+    tel.count("markov.walk.steps", steps)
+    return result
+
+
+def _walk_chunk_payload(chosen: np.ndarray, streams: list):
+    """Per-chunk payload builder: that chunk's states and seed streams."""
+
+    def build(columns: slice) -> dict:
+        return {"states": chosen[columns].copy(), "streams": streams[columns]}
+
+    return build
+
+
+# ----------------------------------------------------------------------
 # mode (a): full trajectories
 # ----------------------------------------------------------------------
 def walk_block(
@@ -245,6 +419,7 @@ def walk_block(
     chunk_size: int | None = None,
     workers: int | None = None,
     strategy: str = "batched",
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return one walk per source as a ``(len(sources), length + 1)`` block.
 
@@ -261,6 +436,7 @@ def walk_block(
     out = np.empty((chosen.size, length + 1), dtype=np.int64)
     if chosen.size == 0:
         return out
+    kind, workers = parallel.resolve_execution(executor, workers)
     streams = _streams(seed, chosen.size)
     stepper = _stepper(graph)
     tel = telemetry.current()
@@ -273,23 +449,35 @@ def walk_block(
                 )
             tel.count("markov.walk.steps", int(chosen.size) * length)
             return out
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            out_spec, out_view = parallel.create_output(out.shape, np.int64)
+            try:
+                parallel.run_process_chunks(
+                    _walk_process_chunk,
+                    {
+                        "graph": parallel.publish(graph),
+                        "mode": "block",
+                        "length": length,
+                        "out": out_spec,
+                    },
+                    chunks,
+                    workers,
+                    chunk_payload=_walk_chunk_payload(chosen, streams),
+                )
+                return np.array(out_view)
+            finally:
+                parallel.release([out_spec])
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.walk.chunk"):
-                states = chosen[columns].copy()
-                out[columns, 0] = states
-                chunk_streams = streams[columns]
-                step = 0
-                while step < length:
-                    count = min(_STEP_BLOCK, length - step)
-                    u = _uniform_block(chunk_streams, count)
-                    for t in range(count):
-                        states = stepper.advance(states, u[:, t])
-                        out[columns, step + t + 1] = states
-                    step += count
+                _block_chunk(
+                    stepper, chosen[columns].copy(), streams[columns], length,
+                    out[columns],
+                )
             tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
 
-        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+        run_chunks(run_chunk, chunks, workers)
     return out
 
 
@@ -320,6 +508,7 @@ def walk_endpoints(
     chunk_size: int | None = None,
     workers: int | None = None,
     strategy: str = "batched",
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return the ``length``-step endpoint of one walk per source.
 
@@ -334,6 +523,7 @@ def walk_endpoints(
     out = np.empty(chosen.size, dtype=np.int64)
     if chosen.size == 0:
         return out
+    kind, workers = parallel.resolve_execution(executor, workers)
     streams = _streams(seed, chosen.size)
     stepper = _stepper(graph)
     tel = telemetry.current()
@@ -346,22 +536,34 @@ def walk_endpoints(
                 )[-1]
             tel.count("markov.walk.steps", int(chosen.size) * length)
             return out
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            out_spec, out_view = parallel.create_output(out.shape, np.int64)
+            try:
+                parallel.run_process_chunks(
+                    _walk_process_chunk,
+                    {
+                        "graph": parallel.publish(graph),
+                        "mode": "endpoints",
+                        "length": length,
+                        "out": out_spec,
+                    },
+                    chunks,
+                    workers,
+                    chunk_payload=_walk_chunk_payload(chosen, streams),
+                )
+                return np.array(out_view)
+            finally:
+                parallel.release([out_spec])
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.walk.chunk"):
-                states = chosen[columns].copy()
-                chunk_streams = streams[columns]
-                step = 0
-                while step < length:
-                    count = min(_STEP_BLOCK, length - step)
-                    u = _uniform_block(chunk_streams, count)
-                    for t in range(count):
-                        states = stepper.advance(states, u[:, t])
-                    step += count
-                out[columns] = states
+                out[columns] = _endpoints_chunk(
+                    stepper, chosen[columns].copy(), streams[columns], length
+                )
             tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
 
-        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+        run_chunks(run_chunk, chunks, workers)
     return out
 
 
@@ -377,6 +579,7 @@ def walk_first_hits(
     chunk_size: int | None = None,
     workers: int | None = None,
     strategy: str = "batched",
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return per walk the first step index at which it stands on ``mask``.
 
@@ -401,6 +604,7 @@ def walk_first_hits(
     out = np.empty(chosen.size, dtype=np.int64)
     if chosen.size == 0:
         return out
+    kind, workers = parallel.resolve_execution(executor, workers)
     streams = _streams(seed, chosen.size)
     stepper = _stepper(graph)
     tel = telemetry.current()
@@ -417,36 +621,41 @@ def walk_first_hits(
             tel.count("markov.walk.steps", steps_taken)
             tel.count("markov.walk.absorbed", int(np.count_nonzero(out != NO_HIT)))
             return out
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            mask_spec = parallel.share_array(hit_mask)
+            out_spec, out_view = parallel.create_output(out.shape, np.int64)
+            try:
+                parallel.run_process_chunks(
+                    _walk_process_chunk,
+                    {
+                        "graph": parallel.publish(graph),
+                        "mode": "first_hits",
+                        "length": length,
+                        "mask": mask_spec,
+                        "out": out_spec,
+                    },
+                    chunks,
+                    workers,
+                    chunk_payload=_walk_chunk_payload(chosen, streams),
+                )
+                return np.array(out_view)
+            finally:
+                parallel.release([mask_spec, out_spec])
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.walk.chunk"):
-                states = chosen[columns].copy()
-                chunk_streams = streams[columns]
-                hits = np.full(states.size, NO_HIT, dtype=np.int64)
-                hits[hit_mask[states]] = 0
-                alive = hits == NO_HIT
-                step = 0
-                steps_taken = 0
-                while step < length and alive.any():
-                    count = min(_STEP_BLOCK, length - step)
-                    u = _uniform_block(chunk_streams, count)
-                    for t in range(count):
-                        states = stepper.advance(states, u[:, t])
-                        steps_taken += states.size
-                        newly = alive & hit_mask[states]
-                        if newly.any():
-                            hits[newly] = step + t + 1
-                            alive &= ~newly
-                            if not alive.any():
-                                break
-                    step += count
+                hits, steps_taken = _first_hits_chunk(
+                    stepper, chosen[columns].copy(), streams[columns], length,
+                    hit_mask,
+                )
                 out[columns] = hits
             tel.count("markov.walk.steps", steps_taken)
             tel.count(
                 "markov.walk.absorbed", int(np.count_nonzero(hits != NO_HIT))
             )
 
-        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+        run_chunks(run_chunk, chunks, workers)
     return out
 
 
@@ -487,6 +696,7 @@ def walk_visit_counts(
     chunk_size: int | None = None,
     workers: int | None = None,
     strategy: str = "batched",
+    executor: str | None = None,
 ) -> np.ndarray:
     """Accumulate per-node visit counts over one walk per source.
 
@@ -507,6 +717,7 @@ def walk_visit_counts(
     counts = np.zeros(graph.num_nodes, dtype=np.int64)
     if chosen.size == 0:
         return counts
+    kind, workers = parallel.resolve_execution(executor, workers)
     streams = _streams(seed, chosen.size)
     stepper = _stepper(graph)
     n = graph.num_nodes
@@ -524,32 +735,37 @@ def walk_visit_counts(
                     counts += np.bincount(path, minlength=n)
             tel.count("markov.walk.steps", int(chosen.size) * length)
             return counts
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            partials = parallel.run_process_chunks(
+                _walk_process_chunk,
+                {
+                    "graph": parallel.publish(graph),
+                    "mode": "visit",
+                    "length": length,
+                    "record": record,
+                },
+                chunks,
+                workers,
+                chunk_payload=_walk_chunk_payload(chosen, streams),
+            )
+            for local in partials:
+                np.add(counts, local, out=counts)
+            return counts
 
         merge_lock = threading.Lock()
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.walk.chunk"):
-                states = chosen[columns].copy()
-                chunk_streams = streams[columns]
-                local = np.zeros(n, dtype=np.int64)
-                if record == "all":
-                    local += np.bincount(states, minlength=n)
-                step = 0
-                while step < length:
-                    count = min(_STEP_BLOCK, length - step)
-                    u = _uniform_block(chunk_streams, count)
-                    for t in range(count):
-                        states = stepper.advance(states, u[:, t])
-                        if record == "all":
-                            local += np.bincount(states, minlength=n)
-                    step += count
-                if record == "last":
-                    local += np.bincount(states, minlength=n)
+                local = _visit_chunk(
+                    stepper, chosen[columns].copy(), streams[columns], length,
+                    record, n,
+                )
                 with merge_lock:
                     np.add(counts, local, out=counts)
             tel.count("markov.walk.steps", (columns.stop - columns.start) * length)
 
-        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+        run_chunks(run_chunk, chunks, workers)
     return counts
 
 
@@ -564,6 +780,7 @@ def walk_cover_steps(
     chunk_size: int | None = None,
     workers: int | None = None,
     strategy: str = "batched",
+    executor: str | None = None,
 ) -> np.ndarray:
     """Return per walk the step at which it has visited every node.
 
@@ -578,6 +795,7 @@ def walk_cover_steps(
     out = np.empty(chosen.size, dtype=np.int64)
     if chosen.size == 0:
         return out
+    kind, workers = parallel.resolve_execution(executor, workers)
     streams = _streams(seed, chosen.size)
     stepper = _stepper(graph)
     n = graph.num_nodes
@@ -591,45 +809,38 @@ def walk_cover_steps(
                 )
             tel.count("markov.walk.absorbed", int(np.count_nonzero(out != NO_HIT)))
             return out
+        chunks = resolve_chunks(chosen.size, chunk_size, workers)
+        if parallel.use_processes(kind, workers, len(chunks)):
+            out_spec, out_view = parallel.create_output(out.shape, np.int64)
+            try:
+                parallel.run_process_chunks(
+                    _walk_process_chunk,
+                    {
+                        "graph": parallel.publish(graph),
+                        "mode": "cover",
+                        "max_steps": max_steps,
+                        "out": out_spec,
+                    },
+                    chunks,
+                    workers,
+                    chunk_payload=_walk_chunk_payload(chosen, streams),
+                )
+                return np.array(out_view)
+            finally:
+                parallel.release([out_spec])
 
         def run_chunk(columns: slice) -> None:
             with tel.span("markov.walk.chunk"):
-                states = chosen[columns].copy()
-                chunk_streams = streams[columns]
-                k = states.size
-                rows = np.arange(k)
-                visited = np.zeros((k, n), dtype=bool)
-                visited[rows, states] = True
-                remaining = np.full(k, n - 1, dtype=np.int64)
-                covered = np.full(k, NO_HIT, dtype=np.int64)
-                if n == 1:
-                    covered[:] = 0
-                alive = covered == NO_HIT
-                step = 0
-                steps_taken = 0
-                while step < max_steps and alive.any():
-                    count = min(_STEP_BLOCK, max_steps - step)
-                    u = _uniform_block(chunk_streams, count)
-                    for t in range(count):
-                        states = stepper.advance(states, u[:, t])
-                        steps_taken += k
-                        newly = alive & ~visited[rows, states]
-                        visited[rows[newly], states[newly]] = True
-                        remaining[newly] -= 1
-                        done = newly & (remaining == 0)
-                        if done.any():
-                            covered[done] = step + t + 1
-                            alive &= ~done
-                            if not alive.any():
-                                break
-                    step += count
+                covered, steps_taken = _cover_chunk(
+                    stepper, chosen[columns].copy(), streams[columns], max_steps, n
+                )
                 out[columns] = covered
             tel.count("markov.walk.steps", steps_taken)
             tel.count(
                 "markov.walk.absorbed", int(np.count_nonzero(covered != NO_HIT))
             )
 
-        run_chunks(run_chunk, resolve_chunks(chosen.size, chunk_size, workers), workers)
+        run_chunks(run_chunk, chunks, workers)
     return out
 
 

@@ -1,0 +1,732 @@
+"""Process-pool execution backend with a shared-memory graph plane.
+
+The thread runner in :mod:`repro.chunking` is capped by the GIL whenever
+per-chunk Python overhead dominates — small chunks, shard streaming,
+loopy-BP rounds.  This module adds the second backend behind the same
+chunking API: a persistent, lazily-spawned **process pool** plus a
+**shared-memory graph plane**, selected per call (or ambiently) with
+``executor="thread" | "process" | "auto"``.
+
+Architecture
+------------
+
+* **Shared-memory plane.**  :func:`publish` places a read-only object
+  into ``multiprocessing.shared_memory`` once and returns a small
+  picklable *ref* (:class:`GraphRef` / :class:`CsrRef` /
+  :class:`ShmSpec`); :class:`~repro.graph.shard.ShardedGraph` inputs
+  become a :class:`ShardedRef` naming the on-disk manifest instead
+  (workers reopen it with their own bounded-LRU residency).  Graph and
+  matrix segments are keyed by ``graph_digest``-style content digests
+  and cached in a small parent-side LRU, so repeated engine calls on
+  the same graph publish nothing.
+* **Worker cache.**  Workers resolve refs lazily via :func:`resolve`
+  and keep their own digest-keyed cache of attached graphs/matrices,
+  so a warm pool re-attaches nothing across calls.  Per-call segments
+  (inputs, state, output buffers) are attached for the duration of one
+  dispatch generation and closed when the next call begins.
+* **Persistent pool.**  :func:`run_process_chunks` dispatches chunk
+  jobs to one module-level ``ProcessPoolExecutor`` (spawn context, so
+  the backend is safe on macOS/Windows and under threaded parents)
+  that survives across calls and is grown on demand;
+  :func:`shutdown` — also registered ``atexit`` — tears it down and
+  unlinks every published segment, so no ``/dev/shm`` residue outlives
+  the parent even after a worker crash.
+* **Determinism.**  Chunk results land in shared pre-allocated output
+  buffers through the *same* module-level kernels the thread backend
+  runs, so the bit-identity contract with the sequential oracles holds
+  across the full executor x chunk_size x workers grid.
+* **Telemetry.**  Each task runs under a fresh child
+  :class:`~repro.telemetry.Telemetry`; its snapshot is returned with
+  the result and merged into the parent registry
+  (:meth:`~repro.telemetry.Telemetry.merge`), so ``--metrics-out``
+  stays one coherent JSON.  The dispatcher itself reports
+  ``parallel.*`` counters and the same ``chunking.*`` fan-out metrics
+  as the thread runner.
+
+:func:`execution` scopes an *ambient* executor/worker configuration so
+deep call stacks (the pipeline wave scheduler, the CLI) can select the
+backend without threading a knob through every signature: engines that
+receive ``executor=None``/``workers=None`` inherit the ambient values
+via :func:`resolve_execution`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.chunking import default_workers
+from repro.errors import GraphError
+
+__all__ = [
+    "EXECUTORS",
+    "ShmSpec",
+    "GraphRef",
+    "CsrRef",
+    "ShardedRef",
+    "execution",
+    "resolve_execution",
+    "use_processes",
+    "publish",
+    "share_array",
+    "create_output",
+    "release",
+    "resolve",
+    "run_process_chunks",
+    "call_token",
+    "shutdown",
+    "shm_prefix",
+]
+
+#: Valid values of the ``executor`` knob.
+EXECUTORS = ("thread", "process", "auto")
+
+#: Parent-side LRU bound on published graph/matrix segments.
+_PLANE_CACHE = 4
+
+#: Worker-side LRU bound on attached graph/matrix objects.
+_WORKER_CACHE = 4
+
+
+def shm_prefix() -> str:
+    """Name prefix of every segment this process publishes.
+
+    Segments are named ``repro_<pid>_<seq>``, so a test session can
+    assert that ``/dev/shm`` carries no residue for its own pid after
+    :func:`shutdown`.
+    """
+    return f"repro_{os.getpid()}_"
+
+
+# ----------------------------------------------------------------------
+# ambient execution configuration
+# ----------------------------------------------------------------------
+_config_lock = threading.Lock()
+_ambient_executor: str | None = None
+_ambient_workers: int | None = None
+
+
+def _validate_executor(executor: str | None) -> None:
+    if executor is not None and executor not in EXECUTORS:
+        raise GraphError(
+            f"unknown executor {executor!r}; use one of {EXECUTORS}"
+        )
+
+
+@contextmanager
+def execution(
+    executor: str | None = None, workers: int | None = None
+) -> Iterator[None]:
+    """Scope an ambient executor/worker default to a ``with`` block.
+
+    Engines called with ``executor=None`` / ``workers=None`` inside the
+    block inherit these values through :func:`resolve_execution` — the
+    mechanism by which ``--executor`` on the CLI and the pipeline wave
+    scheduler reach every nested engine call without new parameters on
+    every function in between.  Explicit per-call arguments always win.
+    """
+    _validate_executor(executor)
+    if workers is not None and workers < 1:
+        raise GraphError("workers must be positive")
+    global _ambient_executor, _ambient_workers
+    with _config_lock:
+        previous = (_ambient_executor, _ambient_workers)
+        if executor is not None:
+            _ambient_executor = executor
+        if workers is not None:
+            _ambient_workers = workers
+    try:
+        yield
+    finally:
+        with _config_lock:
+            _ambient_executor, _ambient_workers = previous
+
+
+def resolve_execution(
+    executor: str | None, workers: int | None
+) -> tuple[str, int | None]:
+    """Resolve the effective ``(executor, workers)`` pair for one call.
+
+    Explicit arguments beat the ambient :func:`execution` configuration,
+    which beats the defaults (``"thread"``, ``None``).  ``"auto"``
+    becomes ``"process"`` when the effective worker count exceeds one
+    and ``"thread"`` otherwise; a process request with no worker count
+    gets :func:`repro.chunking.default_workers`.
+    """
+    _validate_executor(executor)
+    with _config_lock:
+        ambient_executor, ambient_workers = _ambient_executor, _ambient_workers
+    kind = executor if executor is not None else (ambient_executor or "thread")
+    if workers is None:
+        workers = ambient_workers
+    if kind == "auto":
+        effective = workers if workers is not None else default_workers()
+        kind = "process" if effective > 1 else "thread"
+        if kind == "process":
+            workers = effective
+    elif kind == "process" and workers is None:
+        workers = default_workers()
+    return kind, workers
+
+
+def use_processes(kind: str, workers: int | None, num_chunks: int) -> bool:
+    """Whether a resolved call should dispatch to the process pool.
+
+    Single-worker or single-chunk plans run on the thread path — there
+    is nothing to parallelize, and the thread path is inline (and
+    cheaper) in exactly those cases.
+    """
+    return kind == "process" and workers is not None and workers > 1 and num_chunks > 1
+
+
+# ----------------------------------------------------------------------
+# shared-memory plane (parent side)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmSpec:
+    """Picklable handle to one shared-memory ndarray."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class GraphRef:
+    """Picklable handle to a CSR graph published on the plane."""
+
+    digest: str
+    num_nodes: int
+    indptr: ShmSpec
+    indices: ShmSpec
+
+
+@dataclass(frozen=True)
+class CsrRef:
+    """Picklable handle to a scipy CSR/CSC matrix published on the plane."""
+
+    digest: str
+    format: str
+    shape: tuple[int, int]
+    data: ShmSpec
+    indices: ShmSpec
+    indptr: ShmSpec
+
+
+@dataclass(frozen=True)
+class ShardedRef:
+    """Picklable handle to an on-disk sharded graph (reopened by path)."""
+
+    root: str
+    digest: str
+    max_resident: int | None
+
+
+class _Plane:
+    """Parent-side registry of every live published segment."""
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.segments: dict[str, shared_memory.SharedMemory] = {}
+        self.graphs: OrderedDict[str, GraphRef] = OrderedDict()
+        self.matrices: OrderedDict[str, CsrRef] = OrderedDict()
+        self.seq = itertools.count()
+
+
+_plane = _Plane()
+
+
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    name = f"{shm_prefix()}{next(_plane.seq)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(nbytes, 1))
+    with _plane.lock:
+        _plane.segments[name] = shm
+    telemetry.current().count("parallel.shm_bytes", shm.size)
+    return shm
+
+
+def _segment_view(shm: shared_memory.SharedMemory, spec: ShmSpec) -> np.ndarray:
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+
+
+def share_array(array: np.ndarray) -> ShmSpec:
+    """Copy ``array`` into a fresh shared segment and return its spec.
+
+    The caller owns the segment's lifetime: pass the spec to
+    :func:`release` when the dispatch that used it completes (or leave
+    it for :func:`shutdown` to sweep).
+    """
+    array = np.ascontiguousarray(array)
+    shm = _create_segment(array.nbytes)
+    spec = ShmSpec(shm.name, tuple(array.shape), array.dtype.str)
+    if array.size:
+        _segment_view(shm, spec)[...] = array
+    return spec
+
+
+def create_output(
+    shape: tuple[int, ...], dtype: Any, fill: Any = None
+) -> tuple[ShmSpec, np.ndarray]:
+    """Allocate a shared output buffer; return ``(spec, parent view)``.
+
+    Workers attach via :func:`resolve` and write disjoint chunk slices;
+    the parent copies the view out and calls :func:`release`.
+    """
+    dt = np.dtype(dtype)
+    nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+    shm = _create_segment(nbytes)
+    spec = ShmSpec(shm.name, tuple(shape), dt.str)
+    view = _segment_view(shm, spec)
+    if fill is not None and view.size:
+        view[...] = fill
+    return spec, view
+
+
+def _discard_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink one owned segment, tolerating live views.
+
+    ``close`` raises :class:`BufferError` while ndarray views of the
+    buffer are still alive; the *unlink* must happen regardless — it
+    removes the ``/dev/shm`` name immediately, and the memory itself is
+    freed when the last mapping is garbage-collected.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+
+
+def release(specs: Iterable[ShmSpec | None]) -> None:
+    """Unlink per-call segments (graph-plane entries are kept cached)."""
+    with _plane.lock:
+        for spec in specs:
+            if spec is None:
+                continue
+            shm = _plane.segments.pop(spec.name, None)
+            if shm is not None:
+                _discard_segment(shm)
+
+
+def _release_ref(ref: GraphRef | CsrRef) -> None:
+    specs = (
+        (ref.indptr, ref.indices)
+        if isinstance(ref, GraphRef)
+        else (ref.data, ref.indices, ref.indptr)
+    )
+    release(specs)
+
+
+def _cache_insert(cache: OrderedDict, digest: str, ref: GraphRef | CsrRef) -> None:
+    cache[digest] = ref
+    cache.move_to_end(digest)
+    while len(cache) > _PLANE_CACHE:
+        _, evicted = cache.popitem(last=False)
+        _release_ref(evicted)
+
+
+def publish_graph(graph: Any) -> GraphRef:
+    """Publish a resident :class:`~repro.graph.core.Graph` (digest-cached)."""
+    from repro.store import graph_digest
+
+    digest = graph_digest(graph)
+    with _plane.lock:
+        ref = _plane.graphs.get(digest)
+        if ref is not None:
+            _plane.graphs.move_to_end(digest)
+            return ref
+        ref = GraphRef(
+            digest=digest,
+            num_nodes=graph.num_nodes,
+            indptr=share_array(graph.indptr),
+            indices=share_array(graph.indices),
+        )
+        _cache_insert(_plane.graphs, digest, ref)
+        return ref
+
+
+def publish_matrix(matrix: Any) -> CsrRef:
+    """Publish a scipy CSR/CSC matrix, keyed by a content digest.
+
+    Only the compressed formats are supported — they are the only ones
+    the engines produce, and rebuilding the same format in the worker
+    preserves scipy's reduction order (the bit-identity contract).
+    """
+    if matrix.format not in ("csr", "csc"):
+        raise GraphError(
+            f"process backend requires a csr/csc matrix, got {matrix.format!r}"
+        )
+    hasher = hashlib.sha256(b"repro-matrix-digest-v1")
+    hasher.update(matrix.format.encode())
+    hasher.update(repr(matrix.shape).encode())
+    for array in (matrix.indptr, matrix.indices, matrix.data):
+        hasher.update(np.ascontiguousarray(array).tobytes())
+    digest = hasher.hexdigest()
+    with _plane.lock:
+        ref = _plane.matrices.get(digest)
+        if ref is not None:
+            _plane.matrices.move_to_end(digest)
+            return ref
+        ref = CsrRef(
+            digest=digest,
+            format=matrix.format,
+            shape=tuple(matrix.shape),
+            data=share_array(matrix.data),
+            indices=share_array(matrix.indices),
+            indptr=share_array(matrix.indptr),
+        )
+        _cache_insert(_plane.matrices, digest, ref)
+        return ref
+
+
+def publish(obj: Any) -> GraphRef | CsrRef | ShardedRef:
+    """Publish a graph-like object and return the matching picklable ref."""
+    from repro.graph.core import Graph
+    from repro.graph.shard import ShardedGraph
+
+    if isinstance(obj, ShardedGraph):
+        return ShardedRef(
+            root=str(obj.root),
+            digest=obj.graph_digest,
+            max_resident=getattr(obj, "_max_resident", None),
+        )
+    if isinstance(obj, Graph):
+        return publish_graph(obj)
+    return publish_matrix(obj)
+
+
+# ----------------------------------------------------------------------
+# worker-side resolution
+# ----------------------------------------------------------------------
+_worker_graphs: OrderedDict[str, tuple[Any, tuple]] = OrderedDict()
+_worker_call_arrays: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_worker_call: Any = None
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifetime.
+
+    ``SharedMemory(name=...)`` registers the mapping with the resource
+    tracker, which would *unlink* the segment when the worker exits —
+    destroying it for the parent and every sibling.  Python 3.13+
+    exposes ``track=False``; on older versions registration is
+    suppressed during the attach instead.  (Unregistering *after* the
+    attach is wrong here: spawn children share the parent's tracker
+    process, so a worker-side unregister would erase the parent's own
+    registration of the segment.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(rname: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _begin_call(call: Any) -> None:
+    """Drop the previous call's per-call attachments on a new dispatch."""
+    global _worker_call
+    if call == _worker_call:
+        return
+    for name in list(_worker_call_arrays):
+        shm, view = _worker_call_arrays.pop(name)
+        del view
+        try:
+            shm.close()
+        except BufferError:  # a kernel kept a view; GC unmaps it later
+            pass
+    _worker_call = call
+
+
+def _worker_cache_put(key: str, value: Any, keepalive: tuple) -> None:
+    # Evicted entries are only dropped, not closed: their Graph/matrix
+    # may still be referenced by in-flight work, and the mappings unmap
+    # when the last view is garbage-collected.
+    _worker_graphs[key] = (value, keepalive)
+    _worker_graphs.move_to_end(key)
+    while len(_worker_graphs) > _WORKER_CACHE:
+        _worker_graphs.popitem(last=False)
+
+
+def resolve(ref: Any) -> Any:
+    """Materialize a plane ref inside the current worker process.
+
+    * :class:`ShmSpec` → writable ndarray view (cached per dispatch);
+    * :class:`GraphRef` → :class:`~repro.graph.core.Graph` over the
+      shared CSR arrays (cached per worker by digest);
+    * :class:`CsrRef` → the scipy matrix in its published format
+      (cached per worker by digest);
+    * :class:`ShardedRef` → :class:`~repro.graph.shard.ShardedGraph`
+      reopened from its manifest with the published residency bound
+      (cached per worker by digest);
+    * anything else is returned unchanged.
+    """
+    if isinstance(ref, ShmSpec):
+        cached = _worker_call_arrays.get(ref.name)
+        if cached is not None:
+            return cached[1]
+        shm = _attach_segment(ref.name)
+        view = _segment_view(shm, ref)
+        _worker_call_arrays[ref.name] = (shm, view)
+        return view
+    if isinstance(ref, GraphRef):
+        # cache keys are namespaced by ref type: a ShardedGraph's
+        # graph_digest equals the digest of the equivalent in-RAM
+        # Graph, and the two resolve to different objects
+        key = f"graph:{ref.digest}"
+        cached = _worker_graphs.get(key)
+        if cached is not None:
+            _worker_graphs.move_to_end(key)
+            return cached[0]
+        from repro.graph.core import Graph
+
+        indptr_shm = _attach_segment(ref.indptr.name)
+        indices_shm = _attach_segment(ref.indices.name)
+        graph = Graph(
+            _segment_view(indptr_shm, ref.indptr),
+            _segment_view(indices_shm, ref.indices),
+        )
+        _worker_cache_put(key, graph, (indptr_shm, indices_shm))
+        return graph
+    if isinstance(ref, CsrRef):
+        key = f"matrix:{ref.digest}"
+        cached = _worker_graphs.get(key)
+        if cached is not None:
+            _worker_graphs.move_to_end(key)
+            return cached[0]
+        import scipy.sparse as sp
+
+        cls = sp.csr_matrix if ref.format == "csr" else sp.csc_matrix
+        shms = tuple(
+            _attach_segment(spec.name)
+            for spec in (ref.data, ref.indices, ref.indptr)
+        )
+        arrays = tuple(
+            _segment_view(shm, spec)
+            for shm, spec in zip(shms, (ref.data, ref.indices, ref.indptr))
+        )
+        matrix = cls(arrays, shape=ref.shape)
+        _worker_cache_put(key, matrix, shms)
+        return matrix
+    if isinstance(ref, ShardedRef):
+        key = f"sharded:{ref.digest}"
+        cached = _worker_graphs.get(key)
+        if cached is not None:
+            _worker_graphs.move_to_end(key)
+            return cached[0]
+        from repro.graph.shard import ShardedGraph
+
+        sharded = ShardedGraph.open(ref.root, max_resident_shards=ref.max_resident)
+        _worker_cache_put(key, sharded, ())
+        return sharded
+    return ref
+
+
+# ----------------------------------------------------------------------
+# the persistent pool and chunk dispatcher
+# ----------------------------------------------------------------------
+_pool_lock = threading.Lock()
+_pool: ProcessPoolExecutor | None = None
+_pool_size = 0
+_call_counter = itertools.count()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent pool, lazily spawned and grown (never shrunk).
+
+    The spawn start method keeps workers import-clean (no inherited
+    locks from a threaded parent; the same code path macOS/Windows
+    would take), which is why engines that reach this backend must be
+    spawn-safe: module-level kernels, picklable payloads.
+    """
+    global _pool, _pool_size
+    with _pool_lock:
+        broken = _pool is not None and getattr(_pool, "_broken", False)
+        if _pool is None or broken or _pool_size < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False, cancel_futures=True)
+            size = max(workers, _pool_size)
+            _pool = ProcessPoolExecutor(
+                max_workers=size, mp_context=get_context("spawn")
+            )
+            _pool_size = size
+            tel = telemetry.current()
+            tel.count("parallel.pool_spawns")
+            tel.gauge("parallel.pool_size", size)
+        return _pool
+
+
+def _invalidate_pool(pool: ProcessPoolExecutor) -> None:
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is pool:
+            _pool.shutdown(wait=False, cancel_futures=True)
+            _pool = None
+            _pool_size = 0
+
+
+def _run_task(
+    fn: Callable[[dict, slice], Any],
+    payload: dict,
+    chunk: slice,
+    span: str | None,
+    record: bool,
+) -> tuple[Any, dict | None]:
+    """Worker entry: run one chunk under a child telemetry registry."""
+    _begin_call(payload.get("_call"))
+    if not record:
+        return fn(payload, chunk), None
+    child = telemetry.Telemetry()
+    with telemetry.activate(child):
+        start = time.perf_counter()
+        if span is None:
+            result = fn(payload, chunk)
+        else:
+            with child.span(span):
+                result = fn(payload, chunk)
+        child.count("chunking.busy_seconds", time.perf_counter() - start)
+    return result, child.snapshot()
+
+
+def probe_chunk(payload: dict, columns: slice) -> tuple[int, int, int]:
+    """Diagnostic task: report ``(start, stop, worker pid)``."""
+    return columns.start, columns.stop, os.getpid()
+
+
+def abort_chunk(payload: dict, columns: slice) -> None:
+    """Crash-injection task for lifecycle tests: hard-exit the worker."""
+    os._exit(int(payload.get("code", 1)))
+
+
+def call_token() -> tuple[int, int]:
+    """Fresh dispatch-generation token for multi-dispatch callers.
+
+    Per-call worker attachments (shared input/output buffers) are
+    dropped when a task arrives with a *different* token.  Iterative
+    engines — loopy BP dispatches once per round against the same
+    buffers — mint one token and pass it to every
+    :func:`run_process_chunks` call of the iteration, so workers keep
+    their attachments across rounds.
+    """
+    return (os.getpid(), next(_call_counter))
+
+
+def run_process_chunks(
+    fn: Callable[[dict, slice], Any],
+    payload: dict,
+    chunks: Sequence[slice],
+    workers: int,
+    span: str | None = "chunking.chunk",
+    chunk_payload: Callable[[slice], dict] | None = None,
+    call: tuple[int, int] | None = None,
+) -> list[Any]:
+    """Dispatch chunk jobs to the persistent process pool.
+
+    ``fn(payload, chunk)`` must be a module-level callable (pickled by
+    reference); ``payload`` values may be plane refs, resolved in the
+    worker via :func:`resolve`.  ``chunk_payload(chunk)`` contributes
+    per-chunk payload entries (e.g. that chunk's seed streams).
+    Results are returned in chunk order; the first failing chunk
+    re-raises in the parent.  Fan-out telemetry matches the thread
+    runner (``chunking.*``) plus ``parallel.*`` dispatch counters, and
+    every task's child-telemetry snapshot is merged into the parent
+    registry.
+    """
+    if workers < 2:
+        raise GraphError("run_process_chunks requires workers >= 2")
+    if not chunks:
+        return []
+    tel = telemetry.current()
+    record = tel.enabled
+    pool_size = min(workers, len(chunks))
+    pool = _get_pool(pool_size)
+    if call is None:
+        call = call_token()
+    start = time.perf_counter()
+    futures = []
+    for chunk in chunks:
+        task_payload = dict(payload)
+        if chunk_payload is not None:
+            task_payload.update(chunk_payload(chunk))
+        task_payload["_call"] = call
+        futures.append(
+            pool.submit(_run_task, fn, task_payload, chunk, span, record)
+        )
+    results: list[Any] = [None] * len(chunks)
+    busy = 0.0
+    try:
+        for i, future in enumerate(futures):
+            result, snapshot = future.result()
+            results[i] = result
+            if snapshot is not None:
+                busy += snapshot.get("counters", {}).get(
+                    "chunking.busy_seconds", 0.0
+                )
+                tel.merge(snapshot)
+    except BrokenProcessPool:
+        _invalidate_pool(pool)
+        raise
+    if record:
+        elapsed = time.perf_counter() - start
+        tel.count("chunking.chunks", len(chunks))
+        tel.count("chunking.sources", sum(c.stop - c.start for c in chunks))
+        tel.count("chunking.parallel_runs")
+        tel.count("parallel.process_runs")
+        tel.count("parallel.tasks", len(chunks))
+        tel.count("parallel.dispatch_seconds", elapsed)
+        if elapsed > 0:
+            tel.gauge(
+                "chunking.worker_utilization",
+                min(1.0, busy / (pool_size * elapsed)) if busy else 0.0,
+            )
+    return results
+
+
+def shutdown() -> None:
+    """Stop the pool and unlink every published segment.
+
+    Idempotent; registered ``atexit``.  Also the recovery path after a
+    worker crash (the plane is parent-owned, so a dead worker can never
+    leak a segment past this call).
+    """
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+            _pool_size = 0
+    with _plane.lock:
+        _plane.graphs.clear()
+        _plane.matrices.clear()
+        for name in list(_plane.segments):
+            _discard_segment(_plane.segments.pop(name))
+
+
+atexit.register(shutdown)

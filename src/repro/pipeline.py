@@ -32,7 +32,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
-from repro import telemetry
+from contextlib import nullcontext
+
+from repro import parallel, telemetry
 from repro.chunking import run_chunks
 from repro.cores.statistics import core_structure
 from repro.datasets import available_datasets, dataset_fingerprint, load_dataset
@@ -199,6 +201,13 @@ class Pipeline:
     graph_stage:
         Name of the stage producing the subject :class:`Graph`; its
         result's digest keys every stage without an explicit digest.
+    executor:
+        Execution backend advertised ambiently to every engine call
+        the stage functions make (:func:`repro.parallel.execution`).
+        Stage closures themselves stay thread-scheduled — they are not
+        picklable — but with ``executor="process"`` the batch engines,
+        the walk engine and the BP engine they invoke fan their chunks
+        out over the shared-memory process pool.
     """
 
     def __init__(
@@ -207,6 +216,7 @@ class Pipeline:
         store: ArtifactStore | None = None,
         workers: int | None = None,
         graph_stage: str | None = None,
+        executor: str | None = None,
     ) -> None:
         names = [s.name for s in stages]
         if len(set(names)) != len(names):
@@ -223,6 +233,7 @@ class Pipeline:
         self._graph_stage = graph_stage
         self._store = store
         self._workers = workers
+        self._executor = executor
         self._order = self._topological_order()
 
     @property
@@ -286,10 +297,30 @@ class Pipeline:
         needed = self._needed(targets)
         results: dict[str, Any] = {}
         runs: dict[str, StageRun] = {}
-        subject: str | None = None
-        done: set[str] = set()
         pending = [n for n in self._order if n in needed]
         tel = telemetry.current()
+        # With an executor set, every engine call inside the stage
+        # functions inherits it ambiently; the wave scheduler itself
+        # stays thread-based (stage closures are not picklable).
+        scope = (
+            parallel.execution(executor=self._executor, workers=self._workers)
+            if self._executor is not None
+            else nullcontext()
+        )
+        with scope:
+            self._run_waves(pending, results, runs, tel)
+        ordered = [runs[n] for n in self._order if n in runs]
+        return PipelineResult(results, ordered)
+
+    def _run_waves(
+        self,
+        pending: list[str],
+        results: dict[str, Any],
+        runs: dict[str, StageRun],
+        tel: telemetry.Telemetry,
+    ) -> None:
+        subject: str | None = None
+        done: set[str] = set()
         while pending:
             ready = [
                 n for n in pending if all(d in done for d in self._stages[n].deps)
@@ -317,8 +348,6 @@ class Pipeline:
                 and isinstance(results.get(self._graph_stage), Graph)
             ):
                 subject = graph_digest(results[self._graph_stage])
-        ordered = [runs[n] for n in self._order if n in runs]
-        return PipelineResult(results, ordered)
 
     def _run_stage(
         self, stage: Stage, results: dict[str, Any], subject: str | None
@@ -431,6 +460,7 @@ def paper_measurement_pipeline(
     num_controllers: int = 2,
     store: ArtifactStore | None = None,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> Pipeline:
     """Build the standard paper DAG for one target graph.
 
@@ -528,7 +558,10 @@ def paper_measurement_pipeline(
             },
         ),
     ]
-    return Pipeline(stages, store=store, workers=workers, graph_stage="load")
+    return Pipeline(
+        stages, store=store, workers=workers, graph_stage="load",
+        executor=executor,
+    )
 
 
 def fusion_comparison_pipeline(
@@ -540,6 +573,7 @@ def fusion_comparison_pipeline(
     suspect_sample: int = 120,
     store: ArtifactStore | None = None,
     workers: int | None = None,
+    executor: str | None = None,
 ) -> Pipeline:
     """Build the fusion-vs-structure ablation DAG for one target graph.
 
@@ -631,4 +665,7 @@ def fusion_comparison_pipeline(
             params=score_params,
         ),
     ]
-    return Pipeline(stages, store=store, workers=workers, graph_stage="load")
+    return Pipeline(
+        stages, store=store, workers=workers, graph_stage="load",
+        executor=executor,
+    )

@@ -384,6 +384,7 @@ def privacy_frontier_pipeline(
     walk_lengths: Sequence[int] | None = None,
     store=None,
     workers: int | None = None,
+    executor: str | None = None,
 ):
     """Build the privacy-frontier sweep as a memoized pipeline DAG.
 
@@ -477,4 +478,10 @@ def privacy_frontier_pipeline(
             params={**measure_params, "ts": [int(t) for t in levels]},
         )
     )
-    return Pipeline(stages, store=store, workers=workers, graph_stage="load")
+    return Pipeline(
+        stages,
+        store=store,
+        workers=workers,
+        graph_stage="load",
+        executor=executor,
+    )

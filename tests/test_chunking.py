@@ -216,6 +216,38 @@ class TestChunkingTelemetry:
         assert busy_after_first >= 0.1
         assert 0.0 < tel.gauges["chunking.worker_utilization"] <= 0.9
 
+    def test_utilization_gauge_isolated_across_concurrent_runs(self):
+        # regression: two *overlapping* parallel runs sharing one
+        # registry.  Busy time is accumulated per run, so the long run's
+        # gauge must reflect only its own half-idle pool (~0.5) — under
+        # the shared-counter scheme the short run's busy deltas leaked
+        # in and pushed it toward the 1.0 clamp.
+        import time
+
+        def half_idle(columns: slice) -> None:
+            if columns.start == 0:
+                time.sleep(0.2)
+
+        def busy(columns: slice) -> None:
+            time.sleep(0.05)
+
+        with telemetry.activate() as tel:
+            long_run = threading.Thread(
+                target=run_chunks,
+                args=(half_idle, resolve_chunks(2, 1, 2), 2),
+            )
+            long_run.start()
+            # the short run starts inside the long run's window and
+            # finishes well before it, so the long run writes the gauge
+            # last
+            time.sleep(0.02)
+            run_chunks(busy, resolve_chunks(2, 1, 2), workers=2)
+            long_run.join()
+        # correct per-run accounting: ~0.2s busy / (2 workers x ~0.2s)
+        assert 0.2 <= tel.gauges["chunking.worker_utilization"] <= 0.75
+        # while the global counter still sums across both runs
+        assert tel.counter("chunking.busy_seconds") >= 0.25
+
     def test_inline_run_has_no_parallel_metrics(self):
         with telemetry.activate() as tel:
             run_chunks(lambda c: None, resolve_chunks(10, 5, None), None)

@@ -1,0 +1,390 @@
+"""Process execution backend: bit-identity grid, shm lifecycle, telemetry.
+
+The contract under test (PR 10): with ``executor="process"`` every batch
+engine must return byte-identical results to its sequential oracle and
+to the thread backend across the full ``chunk_size x workers`` grid, the
+shared-memory plane must leave no ``/dev/shm`` residue after
+:func:`repro.parallel.shutdown` — even after a worker crash — and child
+telemetry must merge into the parent registry so ``--metrics-out``
+remains one coherent document.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro import parallel, telemetry
+from repro.chunking import resolve_chunks
+from repro.errors import GraphError
+from repro.generators import barabasi_albert
+from repro.graph import Graph
+from repro.graph.bfs_batch import bfs_distances_block, bfs_level_sizes_block
+from repro.graph.shard import ShardedGraph
+from repro.markov.batch import batched_tvd_profile, sharded_stationary
+from repro.markov.transition import TransitionOperator
+from repro.markov.walk_batch import (
+    walk_block,
+    walk_cover_steps,
+    walk_endpoints,
+    walk_first_hits,
+    walk_visit_counts,
+)
+from repro.sybil.fusion import loopy_belief_propagation
+
+#: The pinned identity grid from the PR-10 acceptance criteria.
+GRID = [
+    (executor, chunk, workers)
+    for executor in ("thread", "process")
+    for chunk in (1, 7, None)
+    for workers in (1, 4)
+]
+
+LENGTHS = (1, 2, 5)
+WALK_LENGTH = 12
+
+
+@pytest.fixture(scope="module")
+def graph() -> Graph:
+    return barabasi_albert(200, 4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def operator(graph) -> TransitionOperator:
+    return TransitionOperator(graph)
+
+
+@pytest.fixture(scope="module")
+def sources(graph) -> np.ndarray:
+    return np.arange(0, graph.num_nodes, 10)
+
+
+@pytest.fixture(scope="module")
+def sharded(graph, tmp_path_factory) -> ShardedGraph:
+    root = tmp_path_factory.mktemp("plane") / "shards"
+    return ShardedGraph.from_graph(graph, root, num_shards=4)
+
+
+class TestResolveExecution:
+    def test_defaults_are_thread(self):
+        assert parallel.resolve_execution(None, None) == ("thread", None)
+
+    def test_explicit_process_gets_default_workers(self):
+        kind, workers = parallel.resolve_execution("process", None)
+        assert kind == "process"
+        assert workers >= 1
+
+    def test_explicit_beats_ambient(self):
+        with parallel.execution(executor="process", workers=4):
+            assert parallel.resolve_execution("thread", 2) == ("thread", 2)
+
+    def test_ambient_scope_inherited_and_restored(self):
+        with parallel.execution(executor="process", workers=4):
+            assert parallel.resolve_execution(None, None) == ("process", 4)
+        assert parallel.resolve_execution(None, None) == ("thread", None)
+
+    def test_auto_resolves_by_worker_count(self):
+        assert parallel.resolve_execution("auto", 4) == ("process", 4)
+        assert parallel.resolve_execution("auto", 1) == ("thread", 1)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(GraphError, match="unknown executor"):
+            parallel.resolve_execution("fork", None)
+        with pytest.raises(GraphError, match="unknown executor"):
+            with parallel.execution(executor="fork"):
+                pass  # pragma: no cover - never entered
+
+    def test_use_processes_needs_fanout(self):
+        assert parallel.use_processes("process", 4, 3)
+        assert not parallel.use_processes("thread", 4, 3)
+        assert not parallel.use_processes("process", 1, 3)
+        assert not parallel.use_processes("process", 4, 1)
+
+    def test_run_process_chunks_requires_two_workers(self):
+        with pytest.raises(GraphError, match="workers >= 2"):
+            parallel.run_process_chunks(
+                parallel.probe_chunk, {}, [slice(0, 1)], workers=1
+            )
+
+
+class TestBitIdentityGrid:
+    """Every engine, byte-identical across executor x chunk x workers."""
+
+    @pytest.fixture(scope="class")
+    def tvd_expected(self, operator, sources):
+        return batched_tvd_profile(
+            operator.matrix, operator.stationary, sources, LENGTHS
+        )
+
+    @pytest.mark.parametrize("executor,chunk,workers", GRID)
+    def test_tvd_profile(self, operator, sources, tvd_expected, executor, chunk, workers):
+        out = batched_tvd_profile(
+            operator.matrix,
+            operator.stationary,
+            sources,
+            LENGTHS,
+            chunk_size=chunk,
+            workers=workers,
+            executor=executor,
+        )
+        np.testing.assert_array_equal(out, tvd_expected)
+
+    @pytest.fixture(scope="class")
+    def levels_expected(self, graph, sources):
+        return bfs_level_sizes_block(graph, sources)
+
+    @pytest.mark.parametrize("executor,chunk,workers", GRID)
+    def test_bfs_level_sizes(self, graph, sources, levels_expected, executor, chunk, workers):
+        out = bfs_level_sizes_block(
+            graph, sources, chunk_size=chunk, workers=workers, executor=executor
+        )
+        np.testing.assert_array_equal(out, levels_expected)
+
+    @pytest.fixture(scope="class")
+    def distances_expected(self, graph, sources):
+        return bfs_distances_block(graph, sources)
+
+    @pytest.mark.parametrize("executor,chunk,workers", GRID)
+    def test_bfs_distances(self, graph, sources, distances_expected, executor, chunk, workers):
+        out = bfs_distances_block(
+            graph, sources, chunk_size=chunk, workers=workers, executor=executor
+        )
+        np.testing.assert_array_equal(out, distances_expected)
+
+    @pytest.fixture(scope="class")
+    def walk_expected(self, graph, sources):
+        return walk_block(graph, sources, WALK_LENGTH, seed=5, strategy="sequential")
+
+    @pytest.mark.parametrize("executor,chunk,workers", GRID)
+    def test_walk_block(self, graph, sources, walk_expected, executor, chunk, workers):
+        out = walk_block(
+            graph,
+            sources,
+            WALK_LENGTH,
+            seed=5,
+            chunk_size=chunk,
+            workers=workers,
+            executor=executor,
+        )
+        np.testing.assert_array_equal(out, walk_expected)
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_walk_modes_match_sequential_oracle(self, graph, sources, executor):
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[::7] = True
+        knobs = dict(chunk_size=4, workers=4, executor=executor)
+        cases = [
+            (
+                walk_endpoints(graph, sources, 9, seed=5, strategy="sequential"),
+                walk_endpoints(graph, sources, 9, seed=5, **knobs),
+            ),
+            (
+                walk_first_hits(
+                    graph, sources, 9, mask, seed=5, strategy="sequential"
+                ),
+                walk_first_hits(graph, sources, 9, mask, seed=5, **knobs),
+            ),
+            (
+                walk_visit_counts(
+                    graph, sources, WALK_LENGTH, seed=5, strategy="sequential"
+                ),
+                walk_visit_counts(graph, sources, WALK_LENGTH, seed=5, **knobs),
+            ),
+            (
+                walk_cover_steps(
+                    graph, sources[:4], 40, seed=5, strategy="sequential"
+                ),
+                walk_cover_steps(graph, sources[:4], 40, seed=5, **knobs),
+            ),
+        ]
+        for expected, got in cases:
+            np.testing.assert_array_equal(got, expected)
+
+    def test_ambient_execution_routes_engines(self, operator, sources, tvd_expected):
+        with parallel.execution(executor="process", workers=4):
+            with telemetry.activate() as tel:
+                out = batched_tvd_profile(
+                    operator.matrix,
+                    operator.stationary,
+                    sources,
+                    LENGTHS,
+                    chunk_size=7,
+                )
+        np.testing.assert_array_equal(out, tvd_expected)
+        assert tel.counters["parallel.process_runs"] >= 1
+
+
+class TestFusionBitIdentity:
+    @pytest.mark.parametrize("chunk,workers", [(1, 4), (97, 4), (None, 4)])
+    def test_bp_process_matches_thread(self, graph, chunk, workers):
+        rng = np.random.default_rng(3)
+        priors = rng.uniform(0.05, 0.95, graph.num_nodes)
+        kwargs = dict(max_rounds=15, chunk_size=chunk, workers=workers)
+        thread = loopy_belief_propagation(graph, priors, **kwargs)
+        process = loopy_belief_propagation(
+            graph, priors, executor="process", **kwargs
+        )
+        np.testing.assert_array_equal(process.beliefs, thread.beliefs)
+        assert process.rounds == thread.rounds
+        assert process.converged == thread.converged
+        assert process.delta == thread.delta
+
+
+class TestShardedBitIdentity:
+    def test_sharded_tvd(self, sharded, sources):
+        pi = sharded_stationary(sharded)
+        expected = batched_tvd_profile(sharded, pi, sources, LENGTHS)
+        out = batched_tvd_profile(
+            sharded,
+            pi,
+            sources,
+            LENGTHS,
+            chunk_size=5,
+            workers=4,
+            executor="process",
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_worker_cache_distinguishes_graph_and_sharded(
+        self, graph, sharded, sources
+    ):
+        # regression: worker caches were keyed by digest alone, and a
+        # ShardedGraph shares its graph_digest with the equivalent
+        # in-RAM Graph — after resolving the GraphRef, the ShardedRef
+        # lookup handed the kernel the wrong object
+        knobs = dict(seed=5, chunk_size=4, workers=2, executor="process")
+        walk_endpoints(graph, sources, 9, **knobs)
+        out = walk_endpoints(sharded, sources, 9, **knobs)
+        expected = walk_endpoints(
+            sharded, sources, 9, seed=5, strategy="sequential"
+        )
+        np.testing.assert_array_equal(out, expected)
+
+    def test_sharded_walks(self, sharded, sources):
+        expected = walk_endpoints(
+            sharded, sources, 9, seed=5, strategy="sequential"
+        )
+        out = walk_endpoints(
+            sharded, sources, 9, seed=5, chunk_size=4, workers=4,
+            executor="process",
+        )
+        np.testing.assert_array_equal(out, expected)
+
+
+def _residue() -> list[str]:
+    return glob.glob(f"/dev/shm/{parallel.shm_prefix()}*")
+
+
+shm_fs = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+class TestShmLifecycle:
+    def test_graph_pickle_roundtrip(self, graph):
+        # spawn workers receive payload objects by pickle; the Graph
+        # wire format must survive the roundtrip bit-for-bit
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone.num_nodes == graph.num_nodes
+        np.testing.assert_array_equal(clone.indptr, graph.indptr)
+        np.testing.assert_array_equal(clone.indices, graph.indices)
+
+    @shm_fs
+    def test_release_unlinks_per_call_segments(self):
+        spec = parallel.share_array(np.arange(16))
+        out_spec, view = parallel.create_output((4, 4), float, fill=0.0)
+        assert len(_residue()) >= 2
+        del view
+        parallel.release([spec, out_spec, None])
+        names = {os.path.basename(p) for p in _residue()}
+        assert spec.name not in names
+        assert out_spec.name not in names
+
+    @shm_fs
+    def test_shutdown_sweeps_the_plane(self, graph):
+        parallel.publish(graph)
+        parallel.share_array(np.arange(32))
+        assert _residue()
+        parallel.shutdown()
+        assert _residue() == []
+
+    @shm_fs
+    def test_worker_crash_leaves_no_residue_and_pool_respawns(self, graph):
+        chunks = resolve_chunks(8, 4, workers=2)
+        with pytest.raises(BrokenProcessPool):
+            parallel.run_process_chunks(
+                parallel.abort_chunk, {"graph": parallel.publish(graph)},
+                chunks, workers=2,
+            )
+        parallel.shutdown()
+        assert _residue() == []
+        # the pool respawns lazily and the plane republishes
+        results = parallel.run_process_chunks(
+            parallel.probe_chunk, {"graph": parallel.publish(graph)},
+            chunks, workers=2,
+        )
+        assert [(r[0], r[1]) for r in results] == [
+            (c.start, c.stop) for c in chunks
+        ]
+        parallel.shutdown()
+        assert _residue() == []
+
+    def test_publish_is_digest_cached(self, graph):
+        first = parallel.publish(graph)
+        second = parallel.publish(graph)
+        assert first is second
+
+    def test_publish_rejects_uncompressed_matrices(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError, match="csr/csc"):
+            parallel.publish(sp.coo_matrix(np.eye(3)))
+
+
+class TestTelemetryMerge:
+    def test_child_spans_and_counters_merge(self, operator, sources):
+        chunks = resolve_chunks(sources.size, 7, workers=4)
+        with telemetry.activate() as tel:
+            batched_tvd_profile(
+                operator.matrix,
+                operator.stationary,
+                sources,
+                LENGTHS,
+                chunk_size=7,
+                workers=4,
+                executor="process",
+            )
+        # one chunking.chunk span per task, merged from child snapshots
+        assert tel.spans["chunking.chunk"].count == len(chunks)
+        assert tel.counters["chunking.chunks"] == len(chunks)
+        assert tel.counters["chunking.sources"] == sources.size
+        assert tel.counters["parallel.process_runs"] == 1
+        assert tel.counters["parallel.tasks"] == len(chunks)
+        assert tel.counters["chunking.busy_seconds"] > 0
+        assert tel.gauges["parallel.pool_size"] >= 2
+        assert 0.0 <= tel.gauges["chunking.worker_utilization"] <= 1.0
+
+    def test_metrics_document_is_one_coherent_json(self, operator, sources, tmp_path):
+        with telemetry.activate() as tel:
+            batched_tvd_profile(
+                operator.matrix,
+                operator.stationary,
+                sources,
+                LENGTHS,
+                chunk_size=7,
+                workers=4,
+                executor="process",
+            )
+            path = tel.write_json(tmp_path / "metrics.json")
+        import json
+
+        doc = json.loads(path.read_text())
+        counters = doc["counters"]
+        assert counters["parallel.process_runs"] == 1
+        assert "chunking.busy_seconds" in counters
+        assert "chunking.chunk" in doc["spans"]

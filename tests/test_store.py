@@ -214,6 +214,48 @@ class TestConcurrency:
         for i in range(5):
             assert a.get(triangle, "s", {"k": i}) == {"payload": i}
 
+    def test_cross_process_writers_one_valid_entry(self, tmp_path):
+        """Two processes memoizing the same key must converge on one
+        valid entry: object files are written atomically and the index
+        is rewritten whole, so racing writers may duplicate work but can
+        never tear a file or corrupt the manifest (the process backend
+        runs engine stages in separate interpreters against one cache
+        directory, making this a load-bearing property, not a nicety)."""
+        cache = tmp_path / "cache"
+        script = (
+            "import sys\n"
+            "from repro.store import ArtifactStore\n"
+            "store = ArtifactStore(sys.argv[1])\n"
+            "for _ in range(30):\n"
+            "    got = store.memoize(\n"
+            "        'subject', 'stage', {'k': 1}, lambda: {'payload': 1}\n"
+            "    )\n"
+            "    assert got == {'payload': 1}, got\n"
+        )
+        repo_root = str(__import__("pathlib").Path(__file__).parents[1])
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(cache)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                cwd=repo_root,
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            _, stderr = proc.communicate(timeout=120)
+            assert proc.returncode == 0, stderr.decode()
+        # a fresh instance reads the index written by the racers
+        fresh = ArtifactStore(cache)
+        assert fresh.get("subject", "stage", {"k": 1}) == {"payload": 1}
+        entries = fresh.entries()
+        assert len(entries) == 1
+        assert entries[0].stage == "stage"
+        # and the manifest itself is intact JSON with exactly that entry
+        index = json.loads((cache / "index.json").read_text())
+        assert [row["key"] for row in index["entries"]] == [entries[0].key]
+
     def test_memoize_counters_exact_under_threads(self, store, triangle):
         """Every memoize call performs exactly one lookup, so after any
         interleaving ``hits + misses`` equals the number of calls and
